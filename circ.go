@@ -1,0 +1,240 @@
+// Package circ is a race checker for multithreaded MiniNesC programs
+// implementing the CIRC context-inference algorithm from Henzinger, Jhala,
+// and Majumdar, "Race Checking by Context Inference" (PLDI 2004).
+//
+// CIRC proves the absence of data races in programs with an unbounded
+// number of threads by inferring a context model — an abstract control
+// flow automaton (ACFA) with predicate-labelled locations and counters —
+// through counterexample-guided abstraction refinement, weak bisimulation
+// minimisation, and circular assume-guarantee reasoning. Unlike lockset-
+// or type-based race detectors it handles state-variable synchronisation
+// idioms (test-and-set flags, conditional locking, interrupt enable bits)
+// without false positives, and produces concrete interleaved error traces
+// for genuine races.
+//
+// # Quick start
+//
+//	rep, err := circ.CheckRace(src, circ.CheckOptions{Variable: "x"})
+//	if err != nil { ... }
+//	switch rep.Verdict {
+//	case circ.Safe:   // race freedom proved; rep.FinalACFA is the context
+//	case circ.Unsafe: // rep.Race is a concrete interleaved trace
+//	case circ.Unknown:
+//	}
+//
+// The package also exposes the paper's baselines (an Eraser-style lockset
+// detector and the nesC compiler's flow-based analysis), an explicit-state
+// model checker for bounded instances, and the Appendix A counter-guided
+// parameterized checker for finite-state threads.
+package circ
+
+import (
+	"fmt"
+	"io"
+
+	"circ/internal/cfa"
+	icirc "circ/internal/circ"
+	"circ/internal/explicit"
+	"circ/internal/flowcheck"
+	"circ/internal/lang"
+	"circ/internal/lockset"
+	"circ/internal/param"
+	"circ/internal/refine"
+	"circ/internal/smt"
+)
+
+// Verdict is the analysis outcome.
+type Verdict = icirc.Verdict
+
+// Verdicts.
+const (
+	Unknown = icirc.Unknown
+	Safe    = icirc.Safe
+	Unsafe  = icirc.Unsafe
+)
+
+// Report is the CIRC analysis result; see the fields of the underlying
+// type for the evidence attached to each verdict.
+type Report = icirc.Report
+
+// Interleaving is a concrete interleaved error trace (thread 0 is the
+// distinguished main thread).
+type Interleaving = refine.Interleaving
+
+// Program is a parsed MiniNesC program.
+type Program struct {
+	ast *lang.Program
+}
+
+// Parse parses and semantically checks MiniNesC source text.
+func Parse(src string) (*Program, error) {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: p}, nil
+}
+
+// AST exposes the underlying syntax tree.
+func (p *Program) AST() *lang.Program { return p.ast }
+
+// ThreadNames lists the declared threads.
+func (p *Program) ThreadNames() []string {
+	out := make([]string, len(p.ast.Threads))
+	for i, t := range p.ast.Threads {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Globals lists the shared variables.
+func (p *Program) Globals() []string {
+	out := make([]string, len(p.ast.Globals))
+	for i, g := range p.ast.Globals {
+		out[i] = g.Name
+	}
+	return out
+}
+
+// CFA builds the control flow automaton of the named thread (empty name:
+// the single thread), with functions inlined.
+func (p *Program) CFA(thread string) (*cfa.CFA, error) {
+	return cfa.Build(p.ast, thread)
+}
+
+// CheckOptions configures CheckRace.
+type CheckOptions struct {
+	// Variable is the global to check for races (required).
+	Variable string
+	// Thread selects the thread template; may be empty for single-thread
+	// programs. The checker verifies unboundedly many copies of it.
+	Thread string
+	// K is the initial counter parameter (default 1).
+	K int
+	// Omega selects the omega-CIRC variant (Section 5): exact-k
+	// reachability plus the good-location generalisation check.
+	Omega bool
+	// Log, when non-nil, receives a narration of every iteration.
+	Log io.Writer
+	// MaxRounds/MaxInner/MaxStates bound the analysis (defaults apply).
+	MaxRounds, MaxInner, MaxStates int
+}
+
+// CheckRace runs CIRC on the program denoted by src: it verifies that
+// arbitrarily many copies of the thread running concurrently are free of
+// data races on the given variable, or returns a genuine interleaved race
+// trace.
+func CheckRace(src string, opts CheckOptions) (*Report, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CheckProgram(p, opts)
+}
+
+// CheckProgram is CheckRace for an already-parsed program.
+func CheckProgram(p *Program, opts CheckOptions) (*Report, error) {
+	if opts.Variable == "" {
+		return nil, fmt.Errorf("circ: CheckOptions.Variable is required")
+	}
+	c, err := p.CFA(opts.Thread)
+	if err != nil {
+		return nil, err
+	}
+	return icirc.Check(c, opts.Variable, icirc.Options{
+		K:         opts.K,
+		Omega:     opts.Omega,
+		Log:       opts.Log,
+		MaxRounds: opts.MaxRounds,
+		MaxInner:  opts.MaxInner,
+		MaxStates: opts.MaxStates,
+	}, smt.NewChecker())
+}
+
+// LocksetReport is the Eraser-style baseline's output.
+type LocksetReport = lockset.Report
+
+// Lockset runs the Eraser-style dynamic lockset detector on n concurrent
+// copies of the program's thread, over random schedules.
+func Lockset(src string, thread string, n int) (*LocksetReport, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	return lockset.Analyze(explicit.NewSymmetric(c, n), lockset.Options{})
+}
+
+// FlowcheckReport is the nesC flow-based baseline's output.
+type FlowcheckReport = flowcheck.Report
+
+// Flowcheck runs the nesC compiler's flow-based static race analysis on
+// the program's thread.
+func Flowcheck(src string, thread string) (*FlowcheckReport, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	return flowcheck.Analyze([]*cfa.CFA{c}), nil
+}
+
+// ExplicitResult is the bounded explicit-state checker's output.
+type ExplicitResult = explicit.Result
+
+// ExplicitCheck exhaustively model-checks n concurrent copies of the
+// thread for races on variable, under bounded values and havoc domains.
+func ExplicitCheck(src string, thread string, n int, variable string) (*ExplicitResult, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	return explicit.NewSymmetric(c, n).CheckRaces(variable, explicit.Options{})
+}
+
+// VerifyCertificate independently re-checks a Safe verdict's evidence via
+// the paper's Algorithm Check (Section 4.2): it discharges the assume
+// obligation (no abstract race under the given context model and
+// predicates) and the guarantee obligation (the context simulates the
+// thread's behaviour) without running any inference. It returns whether
+// the certificate is valid and, if not, which obligation failed.
+func VerifyCertificate(p *Program, opts CheckOptions, rep *Report) (bool, string, error) {
+	if opts.Variable == "" {
+		return false, "", fmt.Errorf("circ: CheckOptions.Variable is required")
+	}
+	if rep.FinalACFA == nil {
+		return false, "", fmt.Errorf("circ: report carries no context model (verdict %v)", rep.Verdict)
+	}
+	c, err := p.CFA(opts.Thread)
+	if err != nil {
+		return false, "", err
+	}
+	return icirc.VerifyCertificate(c, opts.Variable, rep.FinalACFA, rep.Preds, rep.K, smt.NewChecker())
+}
+
+// ParamResult is the Appendix A checker's output.
+type ParamResult = param.Result
+
+// ParamCheck runs the counter-guided parameterized verification of
+// Appendix A on a finite-state thread (no locals) for races on variable.
+func ParamCheck(src string, thread string, variable string) (*ParamResult, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	return param.Check(c, variable, param.Options{})
+}

@@ -1,0 +1,250 @@
+package circ
+
+import (
+	"strings"
+	"testing"
+
+	"circ/internal/benchapps"
+	"circ/internal/explicit"
+)
+
+const tasSrc = `
+global int x;
+global int state;
+
+thread Worker {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+
+func TestPublicAPISafe(t *testing.T) {
+	rep, err := CheckRace(tasSrc, CheckOptions{Variable: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Safe {
+		t.Fatalf("verdict = %v (%s)", rep.Verdict, rep.Reason)
+	}
+	if rep.FinalACFA == nil {
+		t.Fatalf("missing context model")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := CheckRace(tasSrc, CheckOptions{}); err == nil {
+		t.Fatalf("missing Variable not rejected")
+	}
+	if _, err := CheckRace("syntax error", CheckOptions{Variable: "x"}); err == nil {
+		t.Fatalf("parse error not propagated")
+	}
+	if _, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Thread: "Nope"}); err == nil {
+		t.Fatalf("unknown thread not rejected")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p, err := Parse(tasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ThreadNames(); len(got) != 1 || got[0] != "Worker" {
+		t.Fatalf("ThreadNames = %v", got)
+	}
+	if got := p.Globals(); len(got) != 2 || got[0] != "x" {
+		t.Fatalf("Globals = %v", got)
+	}
+	if p.AST() == nil {
+		t.Fatalf("AST() nil")
+	}
+	c, err := p.CFA("Worker")
+	if err != nil || c.Name != "Worker" {
+		t.Fatalf("CFA: %v", err)
+	}
+}
+
+func TestBaselineWrappers(t *testing.T) {
+	ls, err := Lockset(tasSrc, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Racy("x") {
+		t.Fatalf("lockset wrapper should report the false positive")
+	}
+	fc, err := Flowcheck(tasSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fc.Racy("x") {
+		t.Fatalf("flowcheck wrapper should report the false positive")
+	}
+	ex, err := ExplicitCheck(tasSrc, "", 2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Race {
+		t.Fatalf("explicit checker found a race in the safe program")
+	}
+	pr, err := ParamCheck(`
+global int x;
+thread T {
+  while (1) { atomic { x = x + 1; } }
+}
+`, "", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Verdict.String() != "safe" {
+		t.Fatalf("param wrapper verdict = %v", pr.Verdict)
+	}
+}
+
+// Cross-validation: on every evaluation model, CIRC's verdict for
+// unboundedly many threads must be consistent with exhaustive explicit
+// checking of the 2-thread instance — CIRC-safe implies no 2-thread race,
+// and CIRC-unsafe races must already appear with few threads for these
+// models (the paper's races all need only 2-3 threads).
+func TestCrossValidationAgainstExplicit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	check := func(app benchapps.App) {
+		t.Run(app.Key(), func(t *testing.T) {
+			_, c, err := app.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := CheckRace(app.Source, CheckOptions{Variable: app.Variable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := explicit.NewSymmetric(c, 2).CheckRaces(app.Variable, explicit.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch rep.Verdict {
+			case Safe:
+				if res2.Race {
+					t.Fatalf("CIRC safe but explicit 2-thread race:\n%v", res2.Trace)
+				}
+			case Unsafe:
+				found := res2.Race
+				if !found {
+					res3, err := explicit.NewSymmetric(c, 3).CheckRaces(app.Variable, explicit.Options{MaxStates: 5000000})
+					if err != nil {
+						t.Fatal(err)
+					}
+					found = res3.Race
+				}
+				if !found {
+					t.Fatalf("CIRC reported a race that explicit checking (2-3 threads) cannot reproduce")
+				}
+			default:
+				t.Fatalf("unknown verdict: %s", rep.Reason)
+			}
+		})
+	}
+	for _, app := range benchapps.Table1() {
+		check(app)
+	}
+	for _, app := range benchapps.Section6Races() {
+		check(app)
+	}
+}
+
+func TestInterleavingRendering(t *testing.T) {
+	rep, err := CheckRace(`
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`, CheckOptions{Variable: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", rep.Verdict)
+	}
+	s := rep.Race.String()
+	// The race involves two distinct threads (here two context threads;
+	// the main thread may not participate).
+	tags := map[string]bool{}
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.IndexByte(line, ':'); i > 0 {
+			tags[line[:i]] = true
+		}
+	}
+	if len(tags) < 2 {
+		t.Fatalf("trace rendering shows fewer than two threads:\n%s", s)
+	}
+}
+
+func TestWrapperErrorPropagation(t *testing.T) {
+	// Bad thread names must surface from every wrapper.
+	if _, err := Lockset(tasSrc, "Nope", 2); err == nil {
+		t.Errorf("Lockset: bad thread accepted")
+	}
+	if _, err := Flowcheck(tasSrc, "Nope"); err == nil {
+		t.Errorf("Flowcheck: bad thread accepted")
+	}
+	if _, err := ExplicitCheck(tasSrc, "Nope", 2, "x"); err == nil {
+		t.Errorf("ExplicitCheck: bad thread accepted")
+	}
+	if _, err := ParamCheck(tasSrc, "Nope", "x"); err == nil {
+		t.Errorf("ParamCheck: bad thread accepted")
+	}
+	// Parse errors too.
+	if _, err := Lockset("garbage", "", 2); err == nil {
+		t.Errorf("Lockset: parse error swallowed")
+	}
+	if _, err := Flowcheck("garbage", ""); err == nil {
+		t.Errorf("Flowcheck: parse error swallowed")
+	}
+	if _, err := ExplicitCheck("garbage", "", 2, "x"); err == nil {
+		t.Errorf("ExplicitCheck: parse error swallowed")
+	}
+	if _, err := ParamCheck("garbage", "", "x"); err == nil {
+		t.Errorf("ParamCheck: parse error swallowed")
+	}
+}
+
+func TestOmegaViaPublicAPI(t *testing.T) {
+	rep, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Omega: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Safe {
+		t.Fatalf("omega verdict = %v (%s)", rep.Verdict, rep.Reason)
+	}
+}
+
+func TestVerifyCertificatePublicAPI(t *testing.T) {
+	p, err := Parse(tasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckProgram(p, CheckOptions{Variable: "x"})
+	if err != nil || rep.Verdict != Safe {
+		t.Fatalf("setup: %v %v", err, rep.Verdict)
+	}
+	ok, why, err := VerifyCertificate(p, CheckOptions{Variable: "x"}, rep)
+	if err != nil || !ok {
+		t.Fatalf("certificate rejected: %s %v", why, err)
+	}
+	// Missing variable and missing ACFA error paths.
+	if _, _, err := VerifyCertificate(p, CheckOptions{}, rep); err == nil {
+		t.Errorf("missing variable accepted")
+	}
+	if _, _, err := VerifyCertificate(p, CheckOptions{Variable: "x"}, &Report{}); err == nil {
+		t.Errorf("report without ACFA accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Comparison runs the three checkers — CIRC, the Eraser-style lockset
+// detector, and the nesC flow-based analysis — over the synchronisation
+// idiom suite, reproducing the paper's motivation: the baselines flag the
+// state-variable idioms as racy (false positives), CIRC proves them safe,
+// and everyone catches the genuinely racy program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"circ"
+	"circ/internal/benchapps"
+)
+
+func main() {
+	fmt.Printf("%-36s %-6s | %-8s %-9s %-9s\n", "idiom", "truth", "CIRC", "lockset", "flow")
+	fmt.Println("------------------------------------------------------------------------------")
+	for _, app := range benchapps.FalsePositiveSuite() {
+		rep, err := circ.CheckRace(app.Source, circ.CheckOptions{Variable: app.Variable})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ls, err := circ.Lockset(app.Source, "", 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fc, err := circ.Flowcheck(app.Source, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := "safe"
+		if !app.ExpectSafe {
+			truth = "racy"
+		}
+		fmt.Printf("%-36s %-6s | %-8s %-9s %-9s\n",
+			app.Idiom, truth, rep.Verdict, verdict(ls.Racy(app.Variable)), verdict(fc.Racy(app.Variable)))
+	}
+	fmt.Println()
+	fmt.Println("A \"warns\" verdict on a safe idiom is a false positive. The lockset and")
+	fmt.Println("flow-based tools cannot see that the state variable orders the accesses;")
+	fmt.Println("CIRC infers a context model precise enough to prove mutual exclusion.")
+}
+
+func verdict(warns bool) string {
+	if warns {
+		return "warns"
+	}
+	return "silent"
+}

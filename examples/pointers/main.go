@@ -1,0 +1,86 @@
+// Pointers demonstrates the Section 5 memory model: race checking of
+// accesses performed through pointers, resolved by the built-in
+// flow-insensitive alias analysis. A buffer pointer is swapped between two
+// buffers under a state-variable lock; the checker must reason through the
+// aliasing to prove both buffers race-free, and must catch the race when
+// the double-buffering discipline is broken.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"circ"
+)
+
+// Double buffering: writers fill the buffer the shared pointer currently
+// designates, holding the test-and-set lock; the swap also happens under
+// the lock. Both buffers are race-free.
+const safeSrc = `
+global int bufA;
+global int bufB;
+global int cur;
+global int lock;
+
+thread Writer {
+  local int mine;
+  local int p;
+  while (1) {
+    atomic {
+      mine = 0;
+      if (lock == 0) { lock = 1; mine = 1; }
+    }
+    if (mine == 1) {
+      if (cur == 0) { p = &bufA; } else { p = &bufB; }
+      *p = *p + 1;           // write through the pointer
+      if (cur == 0) { cur = 1; } else { cur = 0; }
+      lock = 0;
+    }
+  }
+}
+`
+
+// Broken: the write through the pointer happens after releasing the lock.
+const racySrc = `
+global int bufA;
+global int bufB;
+global int cur;
+global int lock;
+
+thread Writer {
+  local int mine;
+  local int p;
+  while (1) {
+    atomic {
+      mine = 0;
+      if (lock == 0) { lock = 1; mine = 1; }
+    }
+    if (mine == 1) {
+      if (cur == 0) { p = &bufA; } else { p = &bufB; }
+      lock = 0;
+      *p = *p + 1;           // BUG: unprotected write through the pointer
+    }
+  }
+}
+`
+
+func main() {
+	for _, buf := range []string{"bufA", "bufB"} {
+		rep, err := circ.CheckRace(safeSrc, circ.CheckOptions{Variable: buf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("double-buffering, %s: %v (predicates: %d)\n", buf, rep.Verdict, len(rep.Preds))
+	}
+
+	rep, err := circ.CheckRace(racySrc, circ.CheckOptions{Variable: "bufA"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broken variant, bufA: %v\n", rep.Verdict)
+	if rep.Race != nil {
+		fmt.Println("the alias analysis resolved *p to {bufA, bufB}; the guarded")
+		fmt.Println("write to bufA races once the lock is dropped early:")
+		fmt.Print(rep.Race)
+	}
+}

@@ -1,0 +1,3 @@
+module circ
+
+go 1.22

@@ -1,0 +1,100 @@
+package acfa
+
+import (
+	"sort"
+	"strings"
+)
+
+// HavocKey returns the canonical string for a sorted havoc set; the empty
+// string denotes a tau move.
+func HavocKey(h []string) string { return strings.Join(h, ",") }
+
+// WeakMove is a weak transition: tau* (Havoc empty) or tau*-Y-tau*.
+type WeakMove struct {
+	Dst   Loc
+	Havoc []string // sorted; empty = pure tau
+}
+
+// TauClosure returns, per location, the set of locations reachable via
+// zero or more tau edges (edges with empty havoc).
+func TauClosure(a *ACFA) [][]Loc {
+	n := a.NumLocs()
+	out := make([][]Loc, n)
+	for l := 0; l < n; l++ {
+		seen := make([]bool, n)
+		seen[l] = true
+		stack := []Loc{Loc(l)}
+		var reach []Loc
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			reach = append(reach, cur)
+			for _, e := range a.Out[cur] {
+				if len(e.Havoc) == 0 && !seen[e.Dst] {
+					seen[e.Dst] = true
+					stack = append(stack, e.Dst)
+				}
+			}
+		}
+		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+		out[l] = reach
+	}
+	return out
+}
+
+// WeakMoves computes the saturated weak transition relation: for each
+// location, the pure-tau moves (tau*, including staying put) and the
+// tau*-Y-tau* moves for each non-empty havoc label Y.
+func WeakMoves(a *ACFA) [][]WeakMove {
+	n := a.NumLocs()
+	tc := TauClosure(a)
+	out := make([][]WeakMove, n)
+	for l := 0; l < n; l++ {
+		seen := make(map[string]bool)
+		var moves []WeakMove
+		add := func(dst Loc, havoc []string) {
+			key := HavocKey(havoc) + "@" + itoa(int(dst))
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			moves = append(moves, WeakMove{Dst: dst, Havoc: havoc})
+		}
+		for _, mid := range tc[l] {
+			// Pure tau move.
+			add(mid, nil)
+			for _, e := range a.Out[mid] {
+				if len(e.Havoc) == 0 {
+					continue
+				}
+				for _, end := range tc[e.Dst] {
+					add(end, e.Havoc)
+				}
+			}
+		}
+		out[l] = moves
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

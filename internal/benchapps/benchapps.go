@@ -1,0 +1,458 @@
+// Package benchapps contains the MiniNesC models of the paper's evaluation
+// programs (Table 1 and the Section 6 narrative). The original nesC
+// applications — secureTosBase, surge, sense — are proprietary to the
+// TinyOS distribution the authors used and compile to thousands of lines
+// of C; what the checker actually exercises is the synchronisation idiom
+// guarding each protected variable. Each model reproduces one such idiom
+// faithfully, following the paper's own modelling recipe: an arbitrary
+// number of threads, each running a dispatch loop that fires interrupt
+// handlers nondeterministically (when enabled) and runs posted tasks
+// (tasks never preempt tasks).
+package benchapps
+
+import (
+	"fmt"
+
+	"circ/internal/cfa"
+	"circ/internal/lang"
+)
+
+// App is one evaluation row: a MiniNesC model of a protected variable.
+type App struct {
+	// Name is the nesC application the row comes from.
+	Name string
+	// Variable is the protected variable checked for races.
+	Variable string
+	// Source is the MiniNesC model.
+	Source string
+	// ExpectSafe is the ground truth (and the paper's verdict).
+	ExpectSafe bool
+	// Paper-reported measurements for EXPERIMENTS.md comparisons.
+	PaperPreds int
+	PaperACFA  int
+	PaperTime  string
+	// Idiom describes the synchronisation pattern.
+	Idiom string
+}
+
+// Key returns "app/variable".
+func (a App) Key() string { return a.Name + "/" + a.Variable }
+
+// Build parses the model and constructs its thread CFA.
+func (a App) Build() (*lang.Program, *cfa.CFA, error) {
+	p, err := lang.Parse(a.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchapps %s: %v", a.Key(), err)
+	}
+	c, err := cfa.Build(p, "")
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchapps %s: %v", a.Key(), err)
+	}
+	return p, c, nil
+}
+
+// testAndSet is the binary state-variable idiom of Figure 1, guarding a
+// counter-like variable. It protects gTxByteCnt and gTxRunningCRC in both
+// secureTosBase and surge.
+func testAndSet(varName, stateName string, extraStep bool) string {
+	extra := ""
+	if extraStep {
+		extra = fmt.Sprintf("      %s = %s + 1;\n", varName, varName)
+	}
+	return fmt.Sprintf(`
+global int %[1]s;
+global int %[2]s;
+
+thread Worker {
+  local int old;
+  while (1) {
+    atomic {
+      old = %[2]s;
+      if (%[2]s == 0) { %[2]s = 1; }
+    }
+    if (old == 0) {
+      %[1]s = %[1]s + 1;
+%[3]s      %[2]s = 0;
+    }
+  }
+}
+`, varName, stateName, extra)
+}
+
+// atomicOnly accesses the variable exclusively inside atomic sections: the
+// trivially-safe rows that need no predicates (gTxProto, gRxTailIndex).
+func atomicOnly(varName string, double bool) string {
+	body := fmt.Sprintf("      %[1]s = %[1]s + 1;\n", varName)
+	if double {
+		body += fmt.Sprintf("      if (%[1]s > 3) { %[1]s = 0; }\n", varName)
+	}
+	return fmt.Sprintf(`
+global int %[1]s;
+
+thread Worker {
+  while (1) {
+    atomic {
+%[2]s    }
+  }
+}
+`, varName, body)
+}
+
+// multiStateMachine guards the state variable itself: the winner of an
+// atomic test-and-set drives the variable through a multi-valued protocol
+// outside atomic sections. This is the gTxState idiom ("accessed in a more
+// complicated pattern"). If buggy, one access happens after the state was
+// released — the genuine race CIRC found in secureTosBase, fixed by moving
+// the access before the release.
+func multiStateMachine(stateName string, buggy bool) string {
+	drive := fmt.Sprintf(`      %[1]s = 2;
+      %[1]s = 3;
+      atomic { %[1]s = 0; }`, stateName)
+	if buggy {
+		drive = fmt.Sprintf(`      %[1]s = 2;
+      atomic { %[1]s = 0; }
+      %[1]s = 3;`, stateName)
+	}
+	return fmt.Sprintf(`
+global int %[1]s;
+
+thread Tx {
+  local int st;
+  while (1) {
+    atomic {
+      st = %[1]s;
+      if (%[1]s == 0) { %[1]s = 1; }
+    }
+    if (st == 0) {
+%[2]s
+    } else {
+      if (st == 2) { skip; }
+    }
+  }
+}
+`, stateName, drive)
+}
+
+// headIndex is the gRxHeadIndex idiom: synchronisation on multiple values
+// of a state variable with conditional accesses — ownership is claimed at
+// state 0, retained through states 1 and 2, and the protected index is
+// accessed (conditionally) in both phases.
+func headIndex(varName, stateName string) string {
+	return fmt.Sprintf(`
+global int %[1]s;
+global int %[2]s;
+
+thread Rx {
+  local int s;
+  while (1) {
+    atomic {
+      s = %[2]s;
+      if (%[2]s == 0) { %[2]s = 1; }
+    }
+    if (s == 0) {
+      %[1]s = %[1]s + 1;
+      atomic { %[2]s = 2; }
+      if (%[1]s > 3) { %[1]s = 0; }
+      atomic { %[2]s = 0; }
+    } else {
+      if (s == 2) { skip; }
+    }
+  }
+}
+`, varName, stateName)
+}
+
+// splitPhase is the surge rec_ptr idiom: an interrupt handler fires only
+// while interrupts are enabled, disables them, writes, and posts a task;
+// the task (tasks never preempt tasks) writes and re-enables the
+// interrupt. Mutual exclusion is carried by the interrupt status bit, per
+// the paper's hardware-model remark.
+func splitPhase(varName string) string {
+	return fmt.Sprintf(`
+global int %[1]s;
+global int intDisabled;
+global int taskPosted;
+global int taskRunning;
+
+thread Dev {
+  local int mine;
+  while (1) {
+    choose {
+      // Interrupt handler: fires only while enabled; disables itself.
+      atomic {
+        mine = 0;
+        if (intDisabled == 0) { intDisabled = 1; mine = 1; }
+      }
+      if (mine == 1) {
+        %[1]s = %[1]s + 1;
+        atomic { taskPosted = 1; }
+      }
+    } or {
+      // Task: runs when posted; tasks never preempt tasks.
+      atomic {
+        mine = 0;
+        if (taskPosted == 1) {
+          if (taskRunning == 0) { taskRunning = 1; mine = 1; }
+        }
+      }
+      if (mine == 1) {
+        %[1]s = %[1]s + 2;
+        atomic { taskPosted = 0; taskRunning = 0; intDisabled = 0; }
+      }
+    }
+  }
+}
+`, varName)
+}
+
+// sensePort is the sense tosPort idiom: a state variable combined with an
+// interrupt that resets the state. In the buggy model the resetting
+// interrupt can fire at any time — the race CIRC reported; the fixed model
+// tracks the interrupt-enable bit that the hardware only sets after the
+// owner finished writing (the paper: "the malicious middle interrupt was
+// only enabled after the first thread had finished writing").
+func sensePort(varName string, modelled bool) string {
+	if !modelled {
+		// Buggy: the resetting interrupt can fire at any moment, stealing
+		// the state from a writer mid-access.
+		return fmt.Sprintf(`
+global int %[1]s;
+global int sState;
+
+thread Sense {
+  local int mine;
+  while (1) {
+    choose {
+      atomic {
+        mine = 0;
+        if (sState == 0) { sState = 1; mine = 1; }
+      }
+      if (mine == 1) {
+        %[1]s = %[1]s + 1;
+        atomic { sState = 0; }
+      }
+    } or {
+      // ADC-completion interrupt resets the sampling state machine.
+      atomic { if (sState == 1) { sState = 0; } }
+    }
+  }
+}
+`, varName)
+	}
+	// Modelled: the completion interrupt is only enabled once the owner
+	// has finished writing; the interrupt (not the owner) advances the
+	// state machine back to idle. While an owner writes, sState = 1 and
+	// intEnabled = 0, so neither a second claimant nor the interrupt can
+	// run.
+	return fmt.Sprintf(`
+global int %[1]s;
+global int sState;
+global int intEnabled;
+
+thread Sense {
+  local int mine;
+  while (1) {
+    choose {
+      atomic {
+        mine = 0;
+        if (sState == 0) { sState = 1; mine = 1; }
+      }
+      if (mine == 1) {
+        %[1]s = %[1]s + 1;
+        atomic { intEnabled = 1; }
+      }
+    } or {
+      // ADC-completion interrupt: fires only once enabled, resets the
+      // state machine and disables itself.
+      atomic {
+        if (intEnabled == 1) { sState = 0; intEnabled = 0; }
+      }
+    }
+  }
+}
+`, varName)
+}
+
+// Table1 returns the models for every row of the paper's Table 1.
+func Table1() []App {
+	return []App{
+		{
+			Name: "secureTosBase", Variable: "gTxState",
+			Source:     multiStateMachine("gTxState", false),
+			ExpectSafe: true,
+			PaperPreds: 11, PaperACFA: 23, PaperTime: "7m38s",
+			Idiom: "multi-valued state machine guarding itself (fixed per Section 6)",
+		},
+		{
+			Name: "secureTosBase", Variable: "gTxByteCnt",
+			Source:     testAndSet("gTxByteCnt", "txState", false),
+			ExpectSafe: true,
+			PaperPreds: 4, PaperACFA: 13, PaperTime: "1m41s",
+			Idiom: "binary test-and-set state variable",
+		},
+		{
+			Name: "secureTosBase", Variable: "gTxRunningCRC",
+			Source:     testAndSet("gTxRunningCRC", "txState", false),
+			ExpectSafe: true,
+			PaperPreds: 4, PaperACFA: 13, PaperTime: "1m50s",
+			Idiom: "binary test-and-set state variable",
+		},
+		{
+			Name: "secureTosBase", Variable: "gTxProto",
+			Source:     atomicOnly("gTxProto", true),
+			ExpectSafe: true,
+			PaperPreds: 0, PaperACFA: 9, PaperTime: "12s",
+			Idiom: "all accesses inside atomic sections",
+		},
+		{
+			Name: "secureTosBase", Variable: "gRxHeadIndex",
+			Source:     headIndex("gRxHeadIndex", "rxState"),
+			ExpectSafe: true,
+			PaperPreds: 8, PaperACFA: 64, PaperTime: "20m50s",
+			Idiom: "multi-valued state variable with conditional accesses",
+		},
+		{
+			Name: "secureTosBase", Variable: "gRxTailIndex",
+			Source:     atomicOnly("gRxTailIndex", false),
+			ExpectSafe: true,
+			PaperPreds: 0, PaperACFA: 5, PaperTime: "2s",
+			Idiom: "all accesses inside atomic sections",
+		},
+		{
+			Name: "surge", Variable: "rec_ptr",
+			Source:     splitPhase("rec_ptr"),
+			ExpectSafe: true,
+			PaperPreds: 4, PaperACFA: 23, PaperTime: "1m18s",
+			Idiom: "split-phase interrupt disable/enable",
+		},
+		{
+			Name: "surge", Variable: "gTxByteCnt",
+			Source:     testAndSet("gTxByteCnt", "txState", true),
+			ExpectSafe: true,
+			PaperPreds: 4, PaperACFA: 15, PaperTime: "1m34s",
+			Idiom: "binary test-and-set state variable",
+		},
+		{
+			Name: "surge", Variable: "gTxRunningCRC",
+			Source:     testAndSet("gTxRunningCRC", "txState", true),
+			ExpectSafe: true,
+			PaperPreds: 4, PaperACFA: 15, PaperTime: "1m45s",
+			Idiom: "binary test-and-set state variable",
+		},
+		{
+			Name: "surge", Variable: "gTxState",
+			Source:     multiStateMachine("gTxState", false),
+			ExpectSafe: true,
+			PaperPreds: 11, PaperACFA: 35, PaperTime: "9m54s",
+			Idiom: "multi-valued state machine guarding itself",
+		},
+		{
+			Name: "sense", Variable: "tosPort",
+			Source:     sensePort("tosPort", true),
+			ExpectSafe: true,
+			PaperPreds: 6, PaperACFA: 26, PaperTime: "16m25s",
+			Idiom: "state variable combined with a modelled interrupt bit",
+		},
+	}
+}
+
+// Section6Races returns the buggy variants whose genuine races the paper
+// reports finding (each paired with the fixed Table 1 row).
+func Section6Races() []App {
+	return []App{
+		{
+			Name: "secureTosBase", Variable: "gTxState",
+			Source:     multiStateMachine("gTxState", true),
+			ExpectSafe: false,
+			Idiom:      "access after releasing the state variable (fixed by moving it before the call)",
+		},
+		{
+			Name: "sense", Variable: "tosPort",
+			Source:     sensePort("tosPort", false),
+			ExpectSafe: false,
+			Idiom:      "interrupt resets the state while an owner is writing (fixed by modelling the interrupt bit)",
+		},
+	}
+}
+
+// conditionalLocking is the Section 1 "conditional locking" idiom: the
+// protected access happens only when a function that toggles the state
+// variable returns a particular value — the toggle and the access live in
+// different procedures, defeating syntactic lock analyses.
+func conditionalLocking(varName string) string {
+	return fmt.Sprintf(`
+global int %[1]s;
+global int state;
+
+int tryLock() {
+  local int got;
+  got = 0;
+  atomic {
+    if (state == 0) { state = 1; got = 1; }
+  }
+  return got;
+}
+
+void unlock() { atomic { state = 0; } }
+
+thread Worker {
+  while (1) {
+    if (tryLock() == 1) {
+      %[1]s = %[1]s + 1;
+      unlock();
+    }
+  }
+}
+`, varName)
+}
+
+// FalsePositiveSuite returns the idioms that lockset- and flow-based
+// baselines flag although they are race-free (the paper's Section 1
+// motivation), plus one genuinely racy program all tools should catch.
+func FalsePositiveSuite() []App {
+	apps := []App{
+		{
+			Name: "idioms", Variable: "x",
+			Source:     testAndSet("x", "state", false),
+			ExpectSafe: true,
+			Idiom:      "Figure 1 test-and-set",
+		},
+		{
+			Name: "idioms", Variable: "x",
+			Source:     conditionalLocking("x"),
+			ExpectSafe: true,
+			Idiom:      "conditional locking via function return",
+		},
+		{
+			Name: "idioms", Variable: "rec_ptr",
+			Source:     splitPhase("rec_ptr"),
+			ExpectSafe: true,
+			Idiom:      "split-phase interrupt",
+		},
+		{
+			Name: "idioms", Variable: "x",
+			Source: `
+global int x;
+
+thread Worker {
+  while (1) {
+    x = x + 1;
+  }
+}
+`,
+			ExpectSafe: false,
+			Idiom:      "unprotected counter (genuine race)",
+		},
+	}
+	return apps
+}
+
+// Get returns the Table 1 row for app/variable, or nil.
+func Get(name, variable string) *App {
+	for _, a := range Table1() {
+		if a.Name == name && a.Variable == variable {
+			return &a
+		}
+	}
+	return nil
+}

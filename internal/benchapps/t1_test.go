@@ -1,0 +1,27 @@
+package benchapps
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"circ/internal/circ"
+	"circ/internal/smt"
+)
+
+func TestDebugGTxState(t *testing.T) {
+	app := Get("secureTosBase", "gTxState")
+	_, c, err := app.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(c)
+	rep, err := circ.Check(c, "gTxState", circ.Options{Log: os.Stdout}, smt.NewChecker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("verdict:", rep.Verdict)
+	if rep.Race != nil {
+		fmt.Println("race trace:\n", rep.Race)
+	}
+}

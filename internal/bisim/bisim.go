@@ -1,0 +1,195 @@
+// Package bisim implements the paper's Collapse procedure: converting an
+// abstract reachability graph into a minimal context model by (1)
+// projecting out local variables from its labels, and (2) computing the
+// weak bisimulation quotient with the projected labels and atomicity as
+// observables and the havoc sets as actions (tau = edges writing no
+// global).
+package bisim
+
+import (
+	"sort"
+
+	"circ/internal/acfa"
+	"circ/internal/pred"
+	"circ/internal/reach"
+	"circ/internal/smt"
+)
+
+// Collapse minimises the ARG g into an ACFA context model. It returns the
+// quotient automaton and mu, the map from canonical ARG location ids to
+// quotient locations (needed by the refiner to concretise abstract paths).
+func Collapse(g *reach.ARG, chk *smt.Checker) (*acfa.ACFA, map[int]acfa.Loc) {
+	argA, locMap := g.ToACFA()
+	quot, classOf := Quotient(argA, chk)
+	mu := make(map[int]acfa.Loc, len(locMap))
+	for root, l := range locMap {
+		mu[root] = classOf[l]
+	}
+	return quot, mu
+}
+
+// Quotient computes the weak bisimulation quotient of a. It returns the
+// quotient automaton and the class of each original location.
+func Quotient(a *acfa.ACFA, chk *smt.Checker) (*acfa.ACFA, map[acfa.Loc]acfa.Loc) {
+	n := a.NumLocs()
+	if n == 0 {
+		empty := &acfa.ACFA{}
+		empty.Finish()
+		return empty, map[acfa.Loc]acfa.Loc{}
+	}
+
+	// Initial partition: semantic label class + atomicity.
+	block := make([]int, n)
+	var reps []acfa.Loc // representative location per block
+	for l := 0; l < n; l++ {
+		assigned := false
+		for b, rep := range reps {
+			if a.IsAtomic(acfa.Loc(l)) != a.IsAtomic(rep) {
+				continue
+			}
+			if labelsEquivalent(a, acfa.Loc(l), rep, chk) {
+				block[l] = b
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			block[l] = len(reps)
+			reps = append(reps, acfa.Loc(l))
+		}
+	}
+
+	weak := acfa.WeakMoves(a)
+
+	// Partition refinement on the saturated weak transition relation.
+	for {
+		sigs := make(map[string]int)
+		newBlock := make([]int, n)
+		changed := false
+		for l := 0; l < n; l++ {
+			sig := signature(weak[l], block, l)
+			// Prefix the old block so refinement only splits blocks.
+			key := itoa(block[l]) + "!" + sig
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			newBlock[l] = id
+		}
+		for l := 0; l < n; l++ {
+			if newBlock[l] != block[l] {
+				changed = true
+			}
+		}
+		block = newBlock
+		if !changed {
+			break
+		}
+	}
+
+	// Renumber blocks densely in order of first occurrence.
+	dense := make(map[int]int)
+	for l := 0; l < n; l++ {
+		if _, ok := dense[block[l]]; !ok {
+			dense[block[l]] = len(dense)
+		}
+	}
+
+	quot := &acfa.ACFA{}
+	classOf := make(map[acfa.Loc]acfa.Loc, n)
+	members := make([][]acfa.Loc, len(dense))
+	for l := 0; l < n; l++ {
+		c := dense[block[l]]
+		classOf[acfa.Loc(l)] = acfa.Loc(c)
+		members[c] = append(members[c], acfa.Loc(l))
+	}
+	for c := 0; c < len(dense); c++ {
+		var label *pred.Region
+		atomic := false
+		for i, m := range members[c] {
+			if i == 0 {
+				label = a.Label(m).Clone()
+				atomic = a.IsAtomic(m)
+			} else {
+				label.AddRegion(a.Label(m))
+			}
+		}
+		quot.AddLoc(label, atomic)
+	}
+	// Project edges: keep non-tau edges (as self-loops when internal, the
+	// paper's rule) and tau edges that cross classes (observable label
+	// changes with no global writes).
+	seen := make(map[string]bool)
+	for _, e := range a.Edges {
+		cs, cd := classOf[e.Src], classOf[e.Dst]
+		if len(e.Havoc) == 0 && cs == cd {
+			continue // internal tau: dissolved by the quotient
+		}
+		key := itoa(int(cs)) + ">" + itoa(int(cd)) + ":" + acfa.HavocKey(e.Havoc)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		quot.AddEdge(cs, cd, e.Havoc)
+	}
+	quot.Entry = classOf[a.Entry]
+	quot.Finish()
+	return quot, classOf
+}
+
+// signature canonically describes a location's weak moves up to the
+// current partition. Pure-tau moves within the own block are omitted
+// (always present).
+func signature(moves []acfa.WeakMove, block []int, self int) string {
+	var parts []string
+	for _, m := range moves {
+		b := block[m.Dst]
+		if len(m.Havoc) == 0 && b == block[self] {
+			continue
+		}
+		parts = append(parts, acfa.HavocKey(m.Havoc)+"@"+itoa(b))
+	}
+	sort.Strings(parts)
+	out := ""
+	prev := ""
+	for _, p := range parts {
+		if p == prev {
+			continue
+		}
+		prev = p
+		out += p + ";"
+	}
+	return out
+}
+
+// labelsEquivalent reports semantic equivalence of two location labels.
+func labelsEquivalent(a *acfa.ACFA, x, y acfa.Loc, chk *smt.Checker) bool {
+	lx, ly := a.Label(x), a.Label(y)
+	if lx.Key() == ly.Key() {
+		return true
+	}
+	return chk.Equivalent(lx.Formula(), ly.Formula())
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,93 @@
+package cfa
+
+import "circ/internal/lang"
+
+// renameBlock deep-copies a statement block, renaming variables through m
+// (names absent from m are kept). Used to give each function inlining its
+// own copies of parameters and locals.
+func renameBlock(b *lang.Block, m map[string]string) *lang.Block {
+	if b == nil {
+		return nil
+	}
+	out := &lang.Block{Stmts: make([]lang.Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		out.Stmts[i] = renameStmt(s, m)
+	}
+	return out
+}
+
+func renameStmt(s lang.Stmt, m map[string]string) lang.Stmt {
+	ren := func(n string) string {
+		if r, ok := m[n]; ok {
+			return r
+		}
+		return n
+	}
+	switch g := s.(type) {
+	case *lang.SAssign:
+		return &lang.SAssign{LHS: ren(g.LHS), RHS: renameAExpr(g.RHS, m), Pos: g.Pos}
+	case *lang.SIf:
+		return &lang.SIf{Cond: renameAExpr(g.Cond, m), Then: renameBlock(g.Then, m), Else: renameBlock(g.Else, m), Pos: g.Pos}
+	case *lang.SWhile:
+		return &lang.SWhile{Cond: renameAExpr(g.Cond, m), Body: renameBlock(g.Body, m), Pos: g.Pos}
+	case *lang.SAtomic:
+		return &lang.SAtomic{Body: renameBlock(g.Body, m), Pos: g.Pos}
+	case *lang.SChoose:
+		brs := make([]*lang.Block, len(g.Branches))
+		for i, br := range g.Branches {
+			brs[i] = renameBlock(br, m)
+		}
+		return &lang.SChoose{Branches: brs, Pos: g.Pos}
+	case *lang.SSkip:
+		return &lang.SSkip{Pos: g.Pos}
+	case *lang.SAssume:
+		return &lang.SAssume{Cond: renameAExpr(g.Cond, m), Pos: g.Pos}
+	case *lang.SReturn:
+		var v lang.AExpr
+		if g.Val != nil {
+			v = renameAExpr(g.Val, m)
+		}
+		return &lang.SReturn{Val: v, Pos: g.Pos}
+	case *lang.SCall:
+		return &lang.SCall{Call: renameAExpr(g.Call, m).(*lang.ACall), Pos: g.Pos}
+	case *lang.SStore:
+		return &lang.SStore{Ptr: ren(g.Ptr), RHS: renameAExpr(g.RHS, m), Pos: g.Pos}
+	case *lang.SBreak:
+		return &lang.SBreak{Pos: g.Pos}
+	case *lang.SContinue:
+		return &lang.SContinue{Pos: g.Pos}
+	}
+	return s
+}
+
+func renameAExpr(e lang.AExpr, m map[string]string) lang.AExpr {
+	switch g := e.(type) {
+	case *lang.ALit, *lang.ANondet:
+		return e
+	case *lang.AVar:
+		if r, ok := m[g.Name]; ok {
+			return &lang.AVar{Name: r, Pos: g.Pos}
+		}
+		return g
+	case *lang.ABin:
+		return &lang.ABin{Op: g.Op, X: renameAExpr(g.X, m), Y: renameAExpr(g.Y, m), Pos: g.Pos}
+	case *lang.ANot:
+		return &lang.ANot{X: renameAExpr(g.X, m), Pos: g.Pos}
+	case *lang.ANeg:
+		return &lang.ANeg{X: renameAExpr(g.X, m), Pos: g.Pos}
+	case *lang.AAddr:
+		return g // addresses name globals, which are never renamed
+	case *lang.ADeref:
+		if r, ok := m[g.Ptr]; ok {
+			return &lang.ADeref{Ptr: r, Pos: g.Pos}
+		}
+		return g
+	case *lang.ACall:
+		args := make([]lang.AExpr, len(g.Args))
+		for i, a := range g.Args {
+			args[i] = renameAExpr(a, m)
+		}
+		return &lang.ACall{Name: g.Name, Args: args, Pos: g.Pos}
+	}
+	return e
+}

@@ -1,0 +1,342 @@
+// Package explicit implements the concrete semantics of multithreaded
+// MiniNesC programs: an explicit-state enumerative model checker for a
+// fixed, finite number of threads over bounded nondeterminism, and a
+// pseudo-random scheduler for dynamic analyses.
+//
+// It serves three roles in the reproduction: cross-validating CIRC's
+// verdicts on small instances, providing the ModelCheck oracle of the
+// Appendix A counter-refinement algorithm, and driving the Eraser-style
+// lockset baseline.
+package explicit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"circ/internal/cfa"
+	"circ/internal/expr"
+)
+
+// Options configures the enumeration.
+type Options struct {
+	// HavocDomain is the set of values a havoc assignment may take
+	// (default {0, 1}). The concrete semantics is exact only up to this
+	// bounded nondeterminism.
+	HavocDomain []int64
+	// MaxStates bounds the exploration (default 2,000,000).
+	MaxStates int
+	// ValueBound wraps every written value into the symmetric window
+	// [-ValueBound/2, ValueBound/2) (default 8, i.e. [-4, 4)), keeping the
+	// state space finite for counters like x = x + 1 while preserving
+	// small negative values. The exploration is exact for programs whose
+	// variables stay within the window and an approximation otherwise.
+	ValueBound int64
+}
+
+func (o Options) havocDomain() []int64 {
+	if len(o.HavocDomain) > 0 {
+		return o.HavocDomain
+	}
+	return []int64{0, 1}
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return 2000000
+}
+
+func (o Options) valueBound() int64 {
+	if o.ValueBound > 0 {
+		return o.ValueBound
+	}
+	return 8
+}
+
+func wrap(v, m int64) int64 {
+	half := m / 2
+	return ((v+half)%m+m)%m - half
+}
+
+// Config is a concrete program configuration: each thread's control
+// location plus a valuation of all variables. Thread t's copy of local v
+// is stored under "v@t".
+type Config struct {
+	Locs []cfa.Loc
+	Vars map[string]int64
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{Locs: append([]cfa.Loc(nil), c.Locs...), Vars: make(map[string]int64, len(c.Vars))}
+	for k, v := range c.Vars {
+		out.Vars[k] = v
+	}
+	return out
+}
+
+// Key returns a canonical key for deduplication.
+func (c *Config) Key() string {
+	var b strings.Builder
+	for _, l := range c.Locs {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	b.WriteByte('|')
+	names := make([]string, 0, len(c.Vars))
+	for n := range c.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d;", n, c.Vars[n])
+	}
+	return b.String()
+}
+
+// Step is one executed transition.
+type Step struct {
+	Thread int
+	Edge   *cfa.Edge
+	// HavocValue is the value chosen for a havoc edge.
+	HavocValue int64
+}
+
+// Instance is a multithreaded program instance: n threads each running a
+// CFA (usually n copies of the same one).
+type Instance struct {
+	CFAs []*cfa.CFA
+	// Init maps globals to initial values (default 0).
+	Init map[string]int64
+}
+
+// NewSymmetric returns an instance of n copies of c.
+func NewSymmetric(c *cfa.CFA, n int) *Instance {
+	cs := make([]*cfa.CFA, n)
+	for i := range cs {
+		cs[i] = c
+	}
+	return &Instance{CFAs: cs}
+}
+
+// threadEnv exposes thread t's view: locals renamed v -> v@t.
+func threadEnv(c *Config, t int, cf *cfa.CFA) map[string]int64 {
+	env := make(map[string]int64, len(c.Vars))
+	suffix := "@" + itoa(t)
+	for k, v := range c.Vars {
+		if i := strings.IndexByte(k, '@'); i >= 0 {
+			if k[i:] == suffix {
+				env[k[:i]] = v
+			}
+			continue
+		}
+		env[k] = v
+	}
+	return env
+}
+
+func localKey(v string, t int, cf *cfa.CFA) string {
+	if cf.IsGlobal(v) {
+		return v
+	}
+	return v + "@" + itoa(t)
+}
+
+// InitialConfig builds the initial configuration (all variables zero
+// unless overridden by Init).
+func (in *Instance) InitialConfig() *Config {
+	c := &Config{Locs: make([]cfa.Loc, len(in.CFAs)), Vars: make(map[string]int64)}
+	for t, cf := range in.CFAs {
+		c.Locs[t] = cf.Entry
+		for _, l := range cf.Locals {
+			c.Vars[l+"@"+itoa(t)] = 0
+		}
+		for _, g := range cf.Globals {
+			c.Vars[g] = 0
+		}
+	}
+	for g, v := range in.Init {
+		c.Vars[g] = v
+	}
+	return c
+}
+
+// EnabledThreads returns the threads allowed to run: if some thread is at
+// an atomic location, only that thread.
+func (in *Instance) EnabledThreads(c *Config) []int {
+	for t, cf := range in.CFAs {
+		if cf.IsAtomic(c.Locs[t]) {
+			return []int{t}
+		}
+	}
+	out := make([]int, len(in.CFAs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Successors returns every successor configuration with the step taken.
+// Written values wrap modulo bound.
+func (in *Instance) Successors(c *Config, havocDomain []int64, bound int64) ([]*Config, []Step, error) {
+	var outC []*Config
+	var outS []Step
+	for _, t := range in.EnabledThreads(c) {
+		cf := in.CFAs[t]
+		env := threadEnv(c, t, cf)
+		for _, e := range cf.OutEdges(c.Locs[t]) {
+			switch e.Op.Kind {
+			case cfa.OpAssume:
+				ok, err := expr.EvalFormula(e.Op.Pred, env)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					continue
+				}
+				n := c.Clone()
+				n.Locs[t] = e.Dst
+				outC = append(outC, n)
+				outS = append(outS, Step{Thread: t, Edge: e})
+			case cfa.OpAssign:
+				v, err := expr.EvalTerm(e.Op.RHS, env)
+				if err != nil {
+					return nil, nil, err
+				}
+				n := c.Clone()
+				n.Locs[t] = e.Dst
+				n.Vars[localKey(e.Op.LHS, t, cf)] = wrap(v, bound)
+				outC = append(outC, n)
+				outS = append(outS, Step{Thread: t, Edge: e})
+			case cfa.OpHavoc:
+				for _, hv := range havocDomain {
+					n := c.Clone()
+					n.Locs[t] = e.Dst
+					n.Vars[localKey(e.Op.LHS, t, cf)] = wrap(hv, bound)
+					outC = append(outC, n)
+					outS = append(outS, Step{Thread: t, Edge: e, HavocValue: hv})
+				}
+			}
+		}
+	}
+	return outC, outS, nil
+}
+
+// IsRace reports whether configuration c has a data race on x: no thread
+// at an atomic location and two distinct threads with enabled accesses of
+// which at least one writes x.
+func (in *Instance) IsRace(c *Config, x string) bool {
+	for t, cf := range in.CFAs {
+		if cf.IsAtomic(c.Locs[t]) {
+			return false
+		}
+	}
+	writers, accessors := 0, 0
+	for t, cf := range in.CFAs {
+		env := threadEnv(c, t, cf)
+		w, r := false, false
+		for _, e := range cf.OutEdges(c.Locs[t]) {
+			switch e.Op.Kind {
+			case cfa.OpAssign:
+				if e.Op.LHS == x {
+					w = true
+				}
+				if expr.Mentions(e.Op.RHS, x) {
+					r = true
+				}
+			case cfa.OpHavoc:
+				if e.Op.LHS == x {
+					w = true
+				}
+			case cfa.OpAssume:
+				if expr.Mentions(e.Op.Pred, x) {
+					if ok, err := expr.EvalFormula(e.Op.Pred, env); err == nil && ok {
+						r = true
+					}
+				}
+			}
+		}
+		if w {
+			writers++
+			accessors++
+		} else if r {
+			accessors++
+		}
+	}
+	return writers >= 1 && accessors >= 2
+}
+
+// Result reports the outcome of CheckRaces.
+type Result struct {
+	// Race is true when a racy configuration is reachable; Trace then
+	// holds a shortest interleaving reaching it.
+	Race      bool
+	Trace     []Step
+	NumStates int
+}
+
+// CheckRaces exhaustively explores the instance and reports whether a race
+// on x is reachable.
+func (in *Instance) CheckRaces(x string, opts Options) (*Result, error) {
+	type parent struct {
+		key  string
+		step Step
+	}
+	init := in.InitialConfig()
+	seen := map[string]parent{init.Key(): {}}
+	queue := []*Config{init}
+	n := 0
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		n++
+		if n > opts.maxStates() {
+			return nil, fmt.Errorf("explicit: state budget exceeded (%d)", opts.maxStates())
+		}
+		if in.IsRace(c, x) {
+			// Rebuild the trace.
+			var rev []Step
+			k := c.Key()
+			for {
+				p := seen[k]
+				if p.key == "" && p.step.Edge == nil {
+					break
+				}
+				rev = append(rev, p.step)
+				k = p.key
+			}
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			return &Result{Race: true, Trace: rev, NumStates: n}, nil
+		}
+		succs, steps, err := in.Successors(c, opts.havocDomain(), opts.valueBound())
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range succs {
+			k := s.Key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = parent{key: c.Key(), step: steps[i]}
+			queue = append(queue, s)
+		}
+	}
+	return &Result{NumStates: n}, nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,268 @@
+package explicit
+
+import (
+	"testing"
+
+	"circ/internal/cfa"
+	"circ/internal/lang"
+)
+
+func buildCFA(t *testing.T, src string) *cfa.CFA {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := cfa.Build(p, "")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return c
+}
+
+const testAndSetSrc = `
+global int x;
+global int state;
+thread Worker {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+
+const racySrc = `
+global int x;
+global int state;
+thread Worker {
+  local int old;
+  while (1) {
+    old = state;
+    if (state == 0) { state = 1; }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+
+func TestSafeProgramHasNoRace(t *testing.T) {
+	c := buildCFA(t, testAndSetSrc)
+	for _, n := range []int{1, 2, 3} {
+		res, err := NewSymmetric(c, n).CheckRaces("x", Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Race {
+			t.Fatalf("n=%d: spurious race:\n%v", n, res.Trace)
+		}
+	}
+}
+
+func TestRacyProgramHasRace(t *testing.T) {
+	c := buildCFA(t, racySrc)
+	res, err := NewSymmetric(c, 2).CheckRaces("x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Race {
+		t.Fatalf("race not found with 2 threads")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatalf("race without trace")
+	}
+	// Replay the trace: it must be executable step by step.
+	in := NewSymmetric(c, 2)
+	cur := in.InitialConfig()
+	for i, step := range res.Trace {
+		succs, steps, err := in.Successors(cur, Options{}.havocDomain(), Options{}.valueBound())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for j, s := range steps {
+			if s.Thread == step.Thread && s.Edge == step.Edge && s.HavocValue == step.HavocValue {
+				cur = succs[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trace step %d not executable: %+v", i, step)
+		}
+	}
+	if !in.IsRace(cur, "x") {
+		t.Fatalf("trace does not end in a race state")
+	}
+}
+
+func TestSingleThreadNeverRaces(t *testing.T) {
+	c := buildCFA(t, racySrc)
+	res, err := NewSymmetric(c, 1).CheckRaces("x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Race {
+		t.Fatalf("single thread cannot race")
+	}
+}
+
+func TestAtomicMutualExclusion(t *testing.T) {
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { atomic { x = x + 1; } }
+}
+`)
+	res, err := NewSymmetric(c, 3).CheckRaces("x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Race {
+		t.Fatalf("atomic accesses raced")
+	}
+}
+
+func TestEnabledThreadsAtomicPriority(t *testing.T) {
+	c := buildCFA(t, `
+global int x;
+thread T {
+  atomic { x = 1; }
+}
+`)
+	in := NewSymmetric(c, 2)
+	cfg := in.InitialConfig()
+	// Drive thread 1 into the atomic section.
+	succs, steps, err := in.Successors(cfg, []int64{0, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside *Config
+	for i, s := range steps {
+		if s.Thread == 1 && c.IsAtomic(succs[i].Locs[1]) {
+			inside = succs[i]
+			break
+		}
+	}
+	if inside == nil {
+		t.Fatalf("could not enter atomic")
+	}
+	enabled := in.EnabledThreads(inside)
+	if len(enabled) != 1 || enabled[0] != 1 {
+		t.Fatalf("enabled = %v, want only thread 1", enabled)
+	}
+}
+
+func TestHavocDomainAndValueBound(t *testing.T) {
+	c := buildCFA(t, `
+global int g;
+thread T {
+  g = *;
+}
+`)
+	in := NewSymmetric(c, 1)
+	cfg := in.InitialConfig()
+	succs, _, err := in.Successors(cfg, []int64{0, 3, 9, -1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[int64]bool{}
+	for _, s := range succs {
+		vals[s.Vars["g"]] = true
+	}
+	// Under the symmetric bound 8 (window [-4,4)): 9 wraps to 1, -1 stays.
+	if !vals[0] || !vals[3] || !vals[1] || !vals[-1] {
+		t.Fatalf("havoc values = %v", vals)
+	}
+}
+
+func TestConfigKeyDeterministic(t *testing.T) {
+	c := buildCFA(t, testAndSetSrc)
+	in := NewSymmetric(c, 2)
+	a := in.InitialConfig()
+	b := in.InitialConfig()
+	if a.Key() != b.Key() {
+		t.Fatalf("initial keys differ")
+	}
+	bb := a.Clone()
+	bb.Vars["x"] = 3
+	if a.Key() == bb.Key() {
+		t.Fatalf("different configs share a key")
+	}
+	if a.Vars["x"] != 0 {
+		t.Fatalf("Clone aliased")
+	}
+}
+
+func TestRandomRunObserves(t *testing.T) {
+	c := buildCFA(t, testAndSetSrc)
+	in := NewSymmetric(c, 2)
+	count := 0
+	err := in.RandomRun(1, 100, Options{}, func(cfg *Config, s Step) {
+		count++
+		if cfg == nil || s.Edge == nil {
+			t.Fatalf("bad observation")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("observed %d steps, want 100", count)
+	}
+}
+
+func TestRandomRunDeterministicPerSeed(t *testing.T) {
+	c := buildCFA(t, testAndSetSrc)
+	record := func(seed int64) []string {
+		in := NewSymmetric(c, 2)
+		var out []string
+		if err := in.RandomRun(seed, 50, Options{}, func(_ *Config, s Step) {
+			out = append(out, s.Edge.String())
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := record(7), record(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}
+
+func TestStateBudgetError(t *testing.T) {
+	c := buildCFA(t, racySrc)
+	_, err := NewSymmetric(c, 2).CheckRaces("x", Options{MaxStates: 1})
+	if err == nil {
+		t.Fatalf("expected budget error")
+	}
+}
+
+func TestInitOverride(t *testing.T) {
+	c := buildCFA(t, `
+global int g;
+thread T {
+  assume(g == 7);
+  g = 0;
+}
+`)
+	in := NewSymmetric(c, 1)
+	in.Init = map[string]int64{"g": 7}
+	cfg := in.InitialConfig()
+	if cfg.Vars["g"] != 7 {
+		t.Fatalf("init override ignored")
+	}
+}

@@ -1,0 +1,26 @@
+package explicit
+
+import "math/rand"
+
+// RandomRun executes one pseudo-random interleaving of the instance for up
+// to maxSteps steps, invoking observe with the configuration *before* each
+// executed step. It stops early when no transition is enabled.
+func (in *Instance) RandomRun(seed int64, maxSteps int, opts Options, observe func(c *Config, s Step)) error {
+	rng := rand.New(rand.NewSource(seed))
+	cur := in.InitialConfig()
+	for i := 0; i < maxSteps; i++ {
+		succs, steps, err := in.Successors(cur, opts.havocDomain(), opts.valueBound())
+		if err != nil {
+			return err
+		}
+		if len(succs) == 0 {
+			return nil
+		}
+		j := rng.Intn(len(succs))
+		if observe != nil {
+			observe(cur, steps[j])
+		}
+		cur = succs[j]
+	}
+	return nil
+}

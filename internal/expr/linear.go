@@ -1,0 +1,184 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lin is a linear combination of variables plus a constant:
+//
+//	Const + Σ Coeffs[v]·v
+//
+// Coefficients are int64 and never zero in a normalised Lin.
+type Lin struct {
+	Coeffs map[string]int64
+	Const  int64
+}
+
+// NewLin returns the zero linear form.
+func NewLin() *Lin { return &Lin{Coeffs: make(map[string]int64)} }
+
+// Clone returns a deep copy.
+func (l *Lin) Clone() *Lin {
+	out := &Lin{Coeffs: make(map[string]int64, len(l.Coeffs)), Const: l.Const}
+	for k, v := range l.Coeffs {
+		out.Coeffs[k] = v
+	}
+	return out
+}
+
+// AddVar adds c·v to the form.
+func (l *Lin) AddVar(v string, c int64) {
+	n := l.Coeffs[v] + c
+	if n == 0 {
+		delete(l.Coeffs, v)
+	} else {
+		l.Coeffs[v] = n
+	}
+}
+
+// AddLin adds c·m to the form.
+func (l *Lin) AddLin(m *Lin, c int64) {
+	l.Const += c * m.Const
+	for v, k := range m.Coeffs {
+		l.AddVar(v, c*k)
+	}
+}
+
+// Scale multiplies the form by c.
+func (l *Lin) Scale(c int64) {
+	l.Const *= c
+	for v := range l.Coeffs {
+		l.Coeffs[v] *= c
+		if l.Coeffs[v] == 0 {
+			delete(l.Coeffs, v)
+		}
+	}
+}
+
+// IsConst reports whether the form has no variables.
+func (l *Lin) IsConst() bool { return len(l.Coeffs) == 0 }
+
+// Vars returns the variable names in sorted order.
+func (l *Lin) Vars() []string {
+	out := make([]string, 0, len(l.Coeffs))
+	for v := range l.Coeffs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns a canonical string for the form.
+func (l *Lin) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", l.Const)
+	for _, v := range l.Vars() {
+		fmt.Fprintf(&b, "+%d*%s", l.Coeffs[v], v)
+	}
+	return b.String()
+}
+
+func (l *Lin) String() string {
+	var parts []string
+	for _, v := range l.Vars() {
+		c := l.Coeffs[v]
+		switch c {
+		case 1:
+			parts = append(parts, v)
+		case -1:
+			parts = append(parts, "-"+v)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, v))
+		}
+	}
+	if l.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", l.Const))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Linearize converts term e into a linear form. Products of two
+// non-constant subterms are abstracted: abstract is called with the
+// offending subterm and must return a (stable) fresh variable name for it;
+// the returned form then refers to that variable. If abstract is nil,
+// Linearize reports an error on nonlinear input.
+func Linearize(e Expr, abstract func(Expr) string) (*Lin, error) {
+	switch g := e.(type) {
+	case Int:
+		l := NewLin()
+		l.Const = g.Value
+		return l, nil
+	case Var:
+		l := NewLin()
+		l.AddVar(g.Name, 1)
+		return l, nil
+	case Bin:
+		x, err := Linearize(g.X, abstract)
+		if err != nil {
+			return nil, err
+		}
+		y, err := Linearize(g.Y, abstract)
+		if err != nil {
+			return nil, err
+		}
+		switch g.Op {
+		case OpAdd:
+			x.AddLin(y, 1)
+			return x, nil
+		case OpSub:
+			x.AddLin(y, -1)
+			return x, nil
+		case OpMul:
+			if x.IsConst() {
+				y.Scale(x.Const)
+				return y, nil
+			}
+			if y.IsConst() {
+				x.Scale(y.Const)
+				return x, nil
+			}
+			if abstract == nil {
+				return nil, fmt.Errorf("expr: nonlinear term %s", e)
+			}
+			l := NewLin()
+			l.AddVar(abstract(g), 1)
+			return l, nil
+		}
+		return nil, fmt.Errorf("expr: unknown BinOp %v", g.Op)
+	default:
+		return nil, fmt.Errorf("expr: %s is not a term", e)
+	}
+}
+
+// NormalizeAtom rewrites a comparison into the canonical form
+//
+//	lhs ⋈ 0    where lhs = Linearize(X - Y)
+//
+// and returns the linear form together with the (possibly flipped)
+// operator. The sign is normalised so the lexicographically smallest
+// variable has a positive coefficient when possible, letting syntactically
+// different spellings of the same atom share a key.
+func NormalizeAtom(c Cmp, abstract func(Expr) string) (*Lin, CmpOp, error) {
+	l, err := Linearize(Sub(c.X, c.Y), abstract)
+	if err != nil {
+		return nil, 0, err
+	}
+	op := c.Op
+	// Normalise sign: make the first (sorted) variable coefficient positive.
+	if vs := l.Vars(); len(vs) > 0 && l.Coeffs[vs[0]] < 0 {
+		l.Scale(-1)
+		switch op {
+		case OpLt:
+			op = OpGt
+		case OpLe:
+			op = OpGe
+		case OpGt:
+			op = OpLt
+		case OpGe:
+			op = OpLe
+		}
+	}
+	return l, op, nil
+}

@@ -1,0 +1,185 @@
+package expr
+
+import "fmt"
+
+// Simplify performs constant folding and shallow logical simplification.
+// It is sound (the result is logically equivalent) but makes no completeness
+// claims; the decision procedure does the real work.
+func Simplify(e Expr) Expr {
+	switch g := e.(type) {
+	case Int, Var, Bool:
+		return e
+	case Bin:
+		x := Simplify(g.X)
+		y := Simplify(g.Y)
+		xi, xok := x.(Int)
+		yi, yok := y.(Int)
+		if xok && yok {
+			switch g.Op {
+			case OpAdd:
+				return Int{Value: xi.Value + yi.Value}
+			case OpSub:
+				return Int{Value: xi.Value - yi.Value}
+			case OpMul:
+				return Int{Value: xi.Value * yi.Value}
+			}
+		}
+		// Identity elements.
+		switch g.Op {
+		case OpAdd:
+			if xok && xi.Value == 0 {
+				return y
+			}
+			if yok && yi.Value == 0 {
+				return x
+			}
+		case OpSub:
+			if yok && yi.Value == 0 {
+				return x
+			}
+		case OpMul:
+			if xok && xi.Value == 1 {
+				return y
+			}
+			if yok && yi.Value == 1 {
+				return x
+			}
+			if (xok && xi.Value == 0) || (yok && yi.Value == 0) {
+				return Int{Value: 0}
+			}
+		}
+		return Bin{Op: g.Op, X: x, Y: y}
+	case Cmp:
+		x := Simplify(g.X)
+		y := Simplify(g.Y)
+		xi, xok := x.(Int)
+		yi, yok := y.(Int)
+		if xok && yok {
+			return Bool{Value: evalCmp(g.Op, xi.Value, yi.Value)}
+		}
+		if Equal(x, y) {
+			switch g.Op {
+			case OpEq, OpLe, OpGe:
+				return TrueExpr
+			case OpNe, OpLt, OpGt:
+				return FalseExpr
+			}
+		}
+		return Cmp{Op: g.Op, X: x, Y: y}
+	case Not:
+		x := Simplify(g.X)
+		return Negate(x)
+	case And:
+		xs := make([]Expr, 0, len(g.Xs))
+		for _, c := range g.Xs {
+			xs = append(xs, Simplify(c))
+		}
+		return Conj(xs...)
+	case Or:
+		xs := make([]Expr, 0, len(g.Xs))
+		for _, c := range g.Xs {
+			xs = append(xs, Simplify(c))
+		}
+		return Disj(xs...)
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func evalCmp(op CmpOp, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	panic(fmt.Sprintf("expr: unknown CmpOp %d", int(op)))
+}
+
+// EvalTerm evaluates term e under the given environment. It returns an
+// error if a variable is unbound or the expression is not a term.
+func EvalTerm(e Expr, env map[string]int64) (int64, error) {
+	switch g := e.(type) {
+	case Int:
+		return g.Value, nil
+	case Var:
+		v, ok := env[g.Name]
+		if !ok {
+			return 0, fmt.Errorf("expr: unbound variable %q", g.Name)
+		}
+		return v, nil
+	case Bin:
+		x, err := EvalTerm(g.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := EvalTerm(g.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch g.Op {
+		case OpAdd:
+			return x + y, nil
+		case OpSub:
+			return x - y, nil
+		case OpMul:
+			return x * y, nil
+		}
+		return 0, fmt.Errorf("expr: unknown BinOp %v", g.Op)
+	default:
+		return 0, fmt.Errorf("expr: %s is not a term", e)
+	}
+}
+
+// EvalFormula evaluates formula e under the given environment.
+func EvalFormula(e Expr, env map[string]int64) (bool, error) {
+	switch g := e.(type) {
+	case Bool:
+		return g.Value, nil
+	case Cmp:
+		x, err := EvalTerm(g.X, env)
+		if err != nil {
+			return false, err
+		}
+		y, err := EvalTerm(g.Y, env)
+		if err != nil {
+			return false, err
+		}
+		return evalCmp(g.Op, x, y), nil
+	case Not:
+		v, err := EvalFormula(g.X, env)
+		return !v, err
+	case And:
+		for _, x := range g.Xs {
+			v, err := EvalFormula(x, env)
+			if err != nil {
+				return false, err
+			}
+			if !v {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Or:
+		for _, x := range g.Xs {
+			v, err := EvalFormula(x, env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("expr: %s is not a formula", e)
+	}
+}

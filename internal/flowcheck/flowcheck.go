@@ -1,0 +1,124 @@
+// Package flowcheck implements the nesC compiler's flow-based static race
+// analysis (Gay et al., PLDI 2003), the paper's second baseline: every
+// access to a shared variable that can happen in preemptive code must
+// occur inside an atomic section; any other access is flagged as a
+// potential race.
+//
+// In the MiniNesC model all threads are preemptive (the nesC frontend
+// models interrupt handlers as nondeterministically dispatched threads),
+// so the analysis reduces to: flag each global accessed on an edge whose
+// source location is not atomic. This is precisely the analysis whose
+// false positives motivated the paper's `norace` annotations.
+package flowcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"circ/internal/cfa"
+	"circ/internal/expr"
+	"circ/internal/lang"
+)
+
+// Warning describes one non-atomic shared access.
+type Warning struct {
+	Var   string
+	Op    string
+	Pos   lang.Pos
+	Write bool
+}
+
+func (w Warning) String() string {
+	kind := "read"
+	if w.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("flowcheck: %s of shared %q outside atomic at %s (%s)", kind, w.Var, w.Pos, w.Op)
+}
+
+// Report is the analysis outcome.
+type Report struct {
+	Warnings []Warning
+}
+
+// Racy reports whether variable x was flagged.
+func (r *Report) Racy(x string) bool {
+	for _, w := range r.Warnings {
+		if w.Var == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the flagged variables in sorted order.
+func (r *Report) Vars() []string {
+	set := map[string]bool{}
+	for _, w := range r.Warnings {
+		set[w.Var] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Report) String() string {
+	if len(r.Warnings) == 0 {
+		return "flowcheck: no warnings"
+	}
+	var b strings.Builder
+	for _, w := range r.Warnings {
+		b.WriteString(w.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Analyze flags every access to a global variable occurring outside an
+// atomic section in any of the given thread CFAs.
+func Analyze(cfas []*cfa.CFA) *Report {
+	rep := &Report{}
+	for _, c := range cfas {
+		for _, e := range c.Edges {
+			if c.IsAtomic(e.Src) {
+				continue
+			}
+			switch e.Op.Kind {
+			case cfa.OpAssign:
+				for v := range expr.FreeVars(e.Op.RHS) {
+					if c.IsGlobal(v) {
+						rep.Warnings = append(rep.Warnings, Warning{Var: v, Op: e.Op.String(), Pos: e.Pos})
+					}
+				}
+				if c.IsGlobal(e.Op.LHS) {
+					rep.Warnings = append(rep.Warnings, Warning{Var: e.Op.LHS, Op: e.Op.String(), Pos: e.Pos, Write: true})
+				}
+			case cfa.OpHavoc:
+				if c.IsGlobal(e.Op.LHS) {
+					rep.Warnings = append(rep.Warnings, Warning{Var: e.Op.LHS, Op: e.Op.String(), Pos: e.Pos, Write: true})
+				}
+			case cfa.OpAssume:
+				for v := range expr.FreeVars(e.Op.Pred) {
+					if c.IsGlobal(v) {
+						rep.Warnings = append(rep.Warnings, Warning{Var: v, Op: e.Op.String(), Pos: e.Pos})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(rep.Warnings, func(i, j int) bool {
+		a, b := rep.Warnings[i], rep.Warnings[j]
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+	return rep
+}

@@ -1,0 +1,224 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's Figure 1 test-and-set program.
+const testAndSetSrc = `
+global int x;
+global int state;
+
+thread Worker {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+
+func TestParseTestAndSet(t *testing.T) {
+	p, err := Parse(testAndSetSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p.Globals) != 2 || p.Globals[0].Name != "x" || p.Globals[1].Name != "state" {
+		t.Fatalf("globals = %+v", p.Globals)
+	}
+	th := p.Thread("Worker")
+	if th == nil {
+		t.Fatalf("thread Worker missing")
+	}
+	if len(th.Locals) != 1 || th.Locals[0].Name != "old" {
+		t.Fatalf("locals = %+v", th.Locals)
+	}
+	if len(th.Body.Stmts) != 1 {
+		t.Fatalf("body stmts = %d, want 1 (while)", len(th.Body.Stmts))
+	}
+	w, ok := th.Body.Stmts[0].(*SWhile)
+	if !ok {
+		t.Fatalf("first stmt is %T, want *SWhile", th.Body.Stmts[0])
+	}
+	if len(w.Body.Stmts) != 2 {
+		t.Fatalf("while body stmts = %d, want 2", len(w.Body.Stmts))
+	}
+	if _, ok := w.Body.Stmts[0].(*SAtomic); !ok {
+		t.Fatalf("expected atomic block, got %T", w.Body.Stmts[0])
+	}
+}
+
+func TestParseFunctionsAndCalls(t *testing.T) {
+	src := `
+global int state;
+int tryLock() {
+  local int got;
+  atomic {
+    got = 0;
+    if (state == 0) { state = 1; got = 1; }
+  }
+  return got;
+}
+void unlock() { state = 0; }
+thread T {
+  while (1) {
+    if (tryLock() == 1) {
+      unlock();
+    }
+  }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestParseChooseAndNondet(t *testing.T) {
+	src := `
+global int g;
+thread T {
+  local int c;
+  c = *;
+  choose {
+    g = 1;
+  } or {
+    g = 2;
+  } or {
+    skip;
+  }
+  assume(g > 0);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ch, ok := p.Threads[0].Body.Stmts[1].(*SChoose)
+	if !ok {
+		t.Fatalf("stmt 1 is %T, want *SChoose", p.Threads[0].Body.Stmts[1])
+	}
+	if len(ch.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(ch.Branches))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`thread T { x = 1; }`, "undeclared variable"},
+		{`global int x; global int x; thread T { skip; }`, "duplicate global"},
+		{`global int x; thread T { break; }`, "break outside"},
+		{`global int x;`, "no threads"},
+		{`global int x; thread T { f(); }`, "undeclared function"},
+		{`global int x; int f() { return 0; } thread T { f(1); }`, "expects 0 argument"},
+		{`global int x; void f() { skip; } thread T { x = f(); }`, "used as a value"},
+		{`global int x; int f() { return f(); } thread T { x = f(); }`, "recursive"},
+		{`global int x; thread T { x = * + 1; }`, "only allowed"},
+		{`global int x; thread T { x = (1 < 2); }`, "boolean expression used as a value"},
+		{`global int x; thread T { return; }`, "return outside"},
+		{`global int x; thread T { x = 1 }`, "expected ';'"},
+		{`global int x; thread T { local int x; skip; }`, "shadows a global"},
+	}
+	for i, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("case %d: expected error containing %q, got none", i, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not contain %q", i, err, c.want)
+		}
+	}
+}
+
+func TestLexerPositionsAndComments(t *testing.T) {
+	src := "global /* block\ncomment */ int x; // line comment\nthread T { skip; }"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("tokenize: %v", err)
+	}
+	if toks[1].Kind != KwInt || toks[1].Pos.Line != 2 {
+		t.Fatalf("token after block comment: %v at %v", toks[1], toks[1].Pos)
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Fatalf("expected unterminated comment error")
+	}
+	if _, err := Tokenize("$"); err == nil {
+		t.Fatalf("expected unexpected character error")
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+global int a;
+global int b;
+thread T {
+  a = 1 + 2 * 3;
+  if (a + 1 < b * 2 && b == 3 || a != 0) { skip; }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	asn := p.Threads[0].Body.Stmts[0].(*SAssign)
+	if got := asn.RHS.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence: got %s", got)
+	}
+	iff := p.Threads[0].Body.Stmts[1].(*SIf)
+	if got := iff.Cond.String(); got != "((((a + 1) < (b * 2)) && (b == 3)) || (a != 0))" {
+		t.Errorf("cond: got %s", got)
+	}
+}
+
+func TestNegativeGlobalInit(t *testing.T) {
+	p, err := Parse("global int x = -5;\nthread T { skip; }")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Globals[0].Init != -5 {
+		t.Fatalf("init = %d, want -5", p.Globals[0].Init)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+global int s;
+thread T {
+  if (s == 0) { s = 1; }
+  else if (s == 1) { s = 2; }
+  else { s = 0; }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestMulVsNondetDisambiguation(t *testing.T) {
+	// `a * b` is multiplication; a bare `*` is nondet.
+	src := `
+global int a;
+global int b;
+thread T {
+  a = a * b;
+  b = *;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := p.Threads[0].Body.Stmts[1].(*SAssign).RHS.(*ANondet); !ok {
+		t.Fatalf("second RHS not nondet")
+	}
+}

@@ -1,0 +1,594 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for MiniNesC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete program from source text and runs semantic
+// analysis on the result.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %s, found %s", t.Pos, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		switch p.cur().Kind {
+		case KwGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case KwThread:
+			t, err := p.parseThread()
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, t)
+		case KwInt, KwVoid:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, fmt.Errorf("%s: expected declaration, found %s", p.cur().Pos, p.cur())
+		}
+	}
+	return prog, nil
+}
+
+// global int x;  or  global int x = 3;
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	kw, _ := p.expect(KwGlobal)
+	if _, err := p.expect(KwInt); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Pos: kw.Pos}
+	if p.accept(Assign) {
+		neg := p.accept(Minus)
+		num, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(num.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer literal %q", num.Pos, num.Text)
+		}
+		if neg {
+			v = -v
+		}
+		g.Init = v
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// thread Name { local int v; ... stmts }
+func (p *Parser) parseThread() (*ThreadDecl, error) {
+	kw, _ := p.expect(KwThread)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	locals, err := p.parseLocalDecls()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtsUntilRBrace()
+	if err != nil {
+		return nil, err
+	}
+	return &ThreadDecl{Name: name.Text, Locals: locals, Body: body, Pos: kw.Pos}, nil
+}
+
+// int f(a, b) { local int t; ... }  |  void g() { ... }
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	retTok := p.next() // KwInt or KwVoid
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.cur().Kind != RParen {
+		for {
+			// Allow an optional 'int' before each parameter name.
+			p.accept(KwInt)
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pn.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	locals, err := p.parseLocalDecls()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtsUntilRBrace()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		Name:         name.Text,
+		Params:       params,
+		Locals:       locals,
+		Body:         body,
+		ReturnsValue: retTok.Kind == KwInt,
+		Pos:          retTok.Pos,
+	}, nil
+}
+
+func (p *Parser) parseLocalDecls() ([]*LocalDecl, error) {
+	var out []*LocalDecl
+	for p.cur().Kind == KwLocal {
+		kw := p.next()
+		if _, err := p.expect(KwInt); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &LocalDecl{Name: name.Text, Pos: kw.Pos})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) parseStmtsUntilRBrace() (*Block, error) {
+	b := &Block{}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, fmt.Errorf("%s: unexpected end of file, expected '}'", p.cur().Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume '}'
+	return b, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	return p.parseStmtsUntilRBrace()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.accept(KwElse) {
+			if p.cur().Kind == KwIf {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = &Block{Stmts: []Stmt{s}}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &SIf{Cond: cond, Then: then, Else: els, Pos: t.Pos}, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SWhile{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case KwAtomic:
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SAtomic{Body: body, Pos: t.Pos}, nil
+	case KwChoose:
+		p.next()
+		var branches []*Block
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+		for p.accept(KwOr) {
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, b)
+		}
+		return &SChoose{Branches: branches, Pos: t.Pos}, nil
+	case KwSkip:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SSkip{Pos: t.Pos}, nil
+	case KwAssume:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SAssume{Cond: cond, Pos: t.Pos}, nil
+	case KwReturn:
+		p.next()
+		var val AExpr
+		if p.cur().Kind != Semi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SReturn{Val: val, Pos: t.Pos}, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SBreak{Pos: t.Pos}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SContinue{Pos: t.Pos}, nil
+	case IDENT:
+		// Assignment or call statement.
+		name := p.next()
+		if p.cur().Kind == LParen {
+			call, err := p.parseCallTail(name)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &SCall{Call: call, Pos: name.Pos}, nil
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SAssign{LHS: name.Text, RHS: rhs, Pos: name.Pos}, nil
+	case Star:
+		// Store through a pointer: *p = e;
+		p.next()
+		ptr, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SStore{Ptr: ptr.Text, RHS: rhs, Pos: t.Pos}, nil
+	case LBrace:
+		// A bare block is sugar for its statements wrapped in choose-of-one.
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SChoose{Branches: []*Block{b}, Pos: t.Pos}, nil
+	}
+	return nil, fmt.Errorf("%s: expected statement, found %s", t.Pos, t)
+}
+
+func (p *Parser) parseCallTail(name Token) (*ACall, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var args []AExpr
+	if p.cur().Kind != RParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return &ACall{Name: name.Text, Args: args, Pos: name.Pos}, nil
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr { '||' andExpr }
+//	andExpr := cmpExpr { '&&' cmpExpr }
+//	cmpExpr := addExpr [ relop addExpr ]
+//	addExpr := mulExpr { ('+'|'-') mulExpr }
+//	mulExpr := unary { '*' unary }
+//	unary   := '!' unary | '-' unary | primary
+//	primary := NUMBER | IDENT [callTail] | '*' | '(' expr ')'
+func (p *Parser) parseExpr() (AExpr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (AExpr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OrOr {
+		op := p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &ABin{Op: OrOr, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (AExpr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == AndAnd {
+		op := p.next()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &ABin{Op: AndAnd, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseCmp() (AExpr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case EqEq, NotEq, Lt, Le, Gt, Ge:
+		op := p.next()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ABin{Op: op.Kind, X: x, Y: y, Pos: op.Pos}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (AExpr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Plus || p.cur().Kind == Minus {
+		op := p.next()
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &ABin{Op: op.Kind, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMul() (AExpr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Star {
+		// Disambiguate multiplication from a trailing nondet: '*' as a
+		// binary operator must be followed by the start of a unary.
+		switch p.toks[p.pos+1].Kind {
+		case NUMBER, IDENT, LParen, Not, Minus, Star:
+		default:
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &ABin{Op: Star, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (AExpr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Not:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ANot{X: x, Pos: t.Pos}, nil
+	case Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ANeg{X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (AExpr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer literal %q", t.Pos, t.Text)
+		}
+		return &ALit{Value: v, Pos: t.Pos}, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LParen {
+			return p.parseCallTail(t)
+		}
+		return &AVar{Name: t.Text, Pos: t.Pos}, nil
+	case Star:
+		p.next()
+		// '*' followed by an identifier is a dereference; bare '*' is the
+		// nondeterministic value.
+		if p.cur().Kind == IDENT {
+			id := p.next()
+			return &ADeref{Ptr: id.Text, Pos: t.Pos}, nil
+		}
+		return &ANondet{Pos: t.Pos}, nil
+	case Amp:
+		p.next()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &AAddr{Name: id.Text, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %s", t.Pos, t)
+}

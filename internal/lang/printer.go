@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to MiniNesC source text. The output
+// reparses to a structurally identical program (see the round-trip tests),
+// making it usable for program transformation tooling and golden tests.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		if g.Init != 0 {
+			fmt.Fprintf(&b, "global int %s = %d;\n", g.Name, g.Init)
+		} else {
+			fmt.Fprintf(&b, "global int %s;\n", g.Name)
+		}
+	}
+	for _, f := range p.Funcs {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		ret := "void"
+		if f.ReturnsValue {
+			ret = "int"
+		}
+		fmt.Fprintf(&b, "%s %s(%s) {\n", ret, f.Name, strings.Join(f.Params, ", "))
+		writeLocals(&b, f.Locals, 1)
+		writeBlock(&b, f.Body, 1)
+		b.WriteString("}\n")
+	}
+	for _, t := range p.Threads {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "thread %s {\n", t.Name)
+		writeLocals(&b, t.Locals, 1)
+		writeBlock(&b, t.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func writeLocals(b *strings.Builder, locals []*LocalDecl, depth int) {
+	for _, l := range locals {
+		indent(b, depth)
+		fmt.Fprintf(b, "local int %s;\n", l.Name)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeBlock(b *strings.Builder, blk *Block, depth int) {
+	if blk == nil {
+		return
+	}
+	for _, s := range blk.Stmts {
+		writeStmt(b, s, depth)
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch g := s.(type) {
+	case *SAssign:
+		fmt.Fprintf(b, "%s = %s;\n", g.LHS, formatExpr(g.RHS))
+	case *SStore:
+		fmt.Fprintf(b, "*%s = %s;\n", g.Ptr, formatExpr(g.RHS))
+	case *SIf:
+		fmt.Fprintf(b, "if (%s) {\n", formatExpr(g.Cond))
+		writeBlock(b, g.Then, depth+1)
+		indent(b, depth)
+		if g.Else != nil {
+			b.WriteString("} else {\n")
+			writeBlock(b, g.Else, depth+1)
+			indent(b, depth)
+		}
+		b.WriteString("}\n")
+	case *SWhile:
+		fmt.Fprintf(b, "while (%s) {\n", formatExpr(g.Cond))
+		writeBlock(b, g.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *SAtomic:
+		b.WriteString("atomic {\n")
+		writeBlock(b, g.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *SChoose:
+		for i, br := range g.Branches {
+			if i == 0 {
+				b.WriteString("choose {\n")
+			} else {
+				indent(b, depth)
+				b.WriteString("} or {\n")
+			}
+			writeBlock(b, br, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *SSkip:
+		b.WriteString("skip;\n")
+	case *SAssume:
+		fmt.Fprintf(b, "assume(%s);\n", formatExpr(g.Cond))
+	case *SReturn:
+		if g.Val != nil {
+			fmt.Fprintf(b, "return %s;\n", formatExpr(g.Val))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *SCall:
+		fmt.Fprintf(b, "%s;\n", formatExpr(g.Call))
+	case *SBreak:
+		b.WriteString("break;\n")
+	case *SContinue:
+		b.WriteString("continue;\n")
+	default:
+		fmt.Fprintf(b, "/* unknown statement %T */\n", s)
+	}
+}
+
+// formatExpr renders an expression with explicit parentheses around every
+// binary operation, guaranteeing the round trip regardless of precedence.
+func formatExpr(e AExpr) string {
+	switch g := e.(type) {
+	case *ALit:
+		return fmt.Sprintf("%d", g.Value)
+	case *AVar:
+		return g.Name
+	case *ANondet:
+		return "*"
+	case *AAddr:
+		return "&" + g.Name
+	case *ADeref:
+		return "*" + g.Ptr
+	case *ANeg:
+		return "(-" + formatExpr(g.X) + ")"
+	case *ANot:
+		return "!(" + formatExpr(g.X) + ")"
+	case *ABin:
+		return "(" + formatExpr(g.X) + " " + binOpText(g.Op) + " " + formatExpr(g.Y) + ")"
+	case *ACall:
+		args := make([]string, len(g.Args))
+		for i, a := range g.Args {
+			args[i] = formatExpr(a)
+		}
+		return g.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("/* unknown expr %T */", e)
+}

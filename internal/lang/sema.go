@@ -1,0 +1,377 @@
+package lang
+
+import "fmt"
+
+// Analyze runs semantic checks over the program: name resolution,
+// duplicate detection, arity and value/void checks for calls, recursion
+// rejection (functions are inlined), placement of break/continue/return,
+// nondet placement, and term/formula typing of expressions.
+func Analyze(p *Program) error {
+	globals := make(map[string]bool)
+	for _, g := range p.Globals {
+		if globals[g.Name] {
+			return fmt.Errorf("%s: duplicate global %q", g.Pos, g.Name)
+		}
+		globals[g.Name] = true
+	}
+	funcs := make(map[string]*FuncDecl)
+	for _, f := range p.Funcs {
+		if _, ok := funcs[f.Name]; ok {
+			return fmt.Errorf("%s: duplicate function %q", f.Pos, f.Name)
+		}
+		if globals[f.Name] {
+			return fmt.Errorf("%s: function %q shadows a global", f.Pos, f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	threads := make(map[string]bool)
+	for _, t := range p.Threads {
+		if threads[t.Name] {
+			return fmt.Errorf("%s: duplicate thread %q", t.Pos, t.Name)
+		}
+		threads[t.Name] = true
+	}
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("program declares no threads")
+	}
+
+	if err := checkNoRecursion(p, funcs); err != nil {
+		return err
+	}
+
+	for _, f := range p.Funcs {
+		sc := newScope(globals, funcs)
+		for _, param := range f.Params {
+			if err := sc.declareLocal(param, f.Pos); err != nil {
+				return err
+			}
+		}
+		for _, l := range f.Locals {
+			if err := sc.declareLocal(l.Name, l.Pos); err != nil {
+				return err
+			}
+		}
+		if err := sc.checkBlock(f.Body, blockCtx{inFunc: f}); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Threads {
+		sc := newScope(globals, funcs)
+		for _, l := range t.Locals {
+			if err := sc.declareLocal(l.Name, l.Pos); err != nil {
+				return err
+			}
+		}
+		if err := sc.checkBlock(t.Body, blockCtx{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkNoRecursion(p *Program, funcs map[string]*FuncDecl) error {
+	// Colour-based DFS over the call graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int)
+	var visit func(f *FuncDecl) error
+	visit = func(f *FuncDecl) error {
+		colour[f.Name] = grey
+		var err error
+		walkCalls(f.Body, func(c *ACall) {
+			if err != nil {
+				return
+			}
+			g, ok := funcs[c.Name]
+			if !ok {
+				return // reported by name resolution later
+			}
+			switch colour[g.Name] {
+			case grey:
+				err = fmt.Errorf("%s: recursive call to %q (functions are inlined; recursion is not supported)", c.Pos, c.Name)
+			case white:
+				err = visit(g)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		colour[f.Name] = black
+		return nil
+	}
+	for _, f := range p.Funcs {
+		if colour[f.Name] == white {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// walkCalls applies fn to every call appearing in the block.
+func walkCalls(b *Block, fn func(*ACall)) {
+	var walkExpr func(AExpr)
+	walkExpr = func(e AExpr) {
+		switch g := e.(type) {
+		case *ABin:
+			walkExpr(g.X)
+			walkExpr(g.Y)
+		case *ANot:
+			walkExpr(g.X)
+		case *ANeg:
+			walkExpr(g.X)
+		case *ACall:
+			fn(g)
+			for _, a := range g.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmt func(Stmt)
+	walkBlock := func(b *Block) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch g := s.(type) {
+		case *SAssign:
+			walkExpr(g.RHS)
+		case *SIf:
+			walkExpr(g.Cond)
+			walkBlock(g.Then)
+			walkBlock(g.Else)
+		case *SWhile:
+			walkExpr(g.Cond)
+			walkBlock(g.Body)
+		case *SAtomic:
+			walkBlock(g.Body)
+		case *SChoose:
+			for _, br := range g.Branches {
+				walkBlock(br)
+			}
+		case *SAssume:
+			walkExpr(g.Cond)
+		case *SReturn:
+			if g.Val != nil {
+				walkExpr(g.Val)
+			}
+		case *SCall:
+			fn(g.Call)
+			for _, a := range g.Call.Args {
+				walkExpr(a)
+			}
+		case *SStore:
+			walkExpr(g.RHS)
+		}
+	}
+	walkBlock(b)
+}
+
+type scope struct {
+	globals map[string]bool
+	funcs   map[string]*FuncDecl
+	locals  map[string]bool
+}
+
+func newScope(globals map[string]bool, funcs map[string]*FuncDecl) *scope {
+	return &scope{globals: globals, funcs: funcs, locals: make(map[string]bool)}
+}
+
+func (sc *scope) declareLocal(name string, pos Pos) error {
+	if sc.locals[name] {
+		return fmt.Errorf("%s: duplicate local %q", pos, name)
+	}
+	if sc.globals[name] {
+		return fmt.Errorf("%s: local %q shadows a global", pos, name)
+	}
+	sc.locals[name] = true
+	return nil
+}
+
+func (sc *scope) resolve(name string, pos Pos) error {
+	if sc.locals[name] || sc.globals[name] {
+		return nil
+	}
+	return fmt.Errorf("%s: undeclared variable %q", pos, name)
+}
+
+type blockCtx struct {
+	inFunc *FuncDecl
+	inLoop bool
+}
+
+func (sc *scope) checkBlock(b *Block, ctx blockCtx) error {
+	if b == nil {
+		return nil
+	}
+	for _, s := range b.Stmts {
+		if err := sc.checkStmt(s, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *scope) checkStmt(s Stmt, ctx blockCtx) error {
+	switch g := s.(type) {
+	case *SAssign:
+		if err := sc.resolve(g.LHS, g.Pos); err != nil {
+			return err
+		}
+		if _, ok := g.RHS.(*ANondet); ok {
+			return nil
+		}
+		return sc.checkTerm(g.RHS)
+	case *SIf:
+		if err := sc.checkCond(g.Cond); err != nil {
+			return err
+		}
+		if err := sc.checkBlock(g.Then, ctx); err != nil {
+			return err
+		}
+		return sc.checkBlock(g.Else, ctx)
+	case *SWhile:
+		if err := sc.checkCond(g.Cond); err != nil {
+			return err
+		}
+		inner := ctx
+		inner.inLoop = true
+		return sc.checkBlock(g.Body, inner)
+	case *SAtomic:
+		return sc.checkBlock(g.Body, ctx)
+	case *SChoose:
+		for _, br := range g.Branches {
+			if err := sc.checkBlock(br, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *SSkip:
+		return nil
+	case *SAssume:
+		return sc.checkCond(g.Cond)
+	case *SReturn:
+		if ctx.inFunc == nil {
+			return fmt.Errorf("%s: return outside a function", g.Pos)
+		}
+		if ctx.inFunc.ReturnsValue && g.Val == nil {
+			return fmt.Errorf("%s: int function %q must return a value", g.Pos, ctx.inFunc.Name)
+		}
+		if !ctx.inFunc.ReturnsValue && g.Val != nil {
+			return fmt.Errorf("%s: void function %q cannot return a value", g.Pos, ctx.inFunc.Name)
+		}
+		if g.Val != nil {
+			return sc.checkTerm(g.Val)
+		}
+		return nil
+	case *SCall:
+		return sc.checkCall(g.Call, false)
+	case *SStore:
+		if err := sc.resolve(g.Ptr, g.Pos); err != nil {
+			return err
+		}
+		if _, ok := g.RHS.(*ANondet); ok {
+			return nil
+		}
+		return sc.checkTerm(g.RHS)
+	case *SBreak:
+		if !ctx.inLoop {
+			return fmt.Errorf("%s: break outside a loop", g.Pos)
+		}
+		return nil
+	case *SContinue:
+		if !ctx.inLoop {
+			return fmt.Errorf("%s: continue outside a loop", g.Pos)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: unknown statement %T", s.Position(), s)
+}
+
+func (sc *scope) checkCall(c *ACall, needValue bool) error {
+	f, ok := sc.funcs[c.Name]
+	if !ok {
+		return fmt.Errorf("%s: call to undeclared function %q", c.Pos, c.Name)
+	}
+	if len(c.Args) != len(f.Params) {
+		return fmt.Errorf("%s: %q expects %d argument(s), got %d", c.Pos, c.Name, len(f.Params), len(c.Args))
+	}
+	if needValue && !f.ReturnsValue {
+		return fmt.Errorf("%s: void function %q used as a value", c.Pos, c.Name)
+	}
+	for _, a := range c.Args {
+		if err := sc.checkTerm(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTerm verifies e is integer-valued.
+func (sc *scope) checkTerm(e AExpr) error {
+	switch g := e.(type) {
+	case *ALit:
+		return nil
+	case *AVar:
+		return sc.resolve(g.Name, g.Pos)
+	case *ANondet:
+		return fmt.Errorf("%s: '*' is only allowed as the entire right-hand side of an assignment", g.Pos)
+	case *AAddr:
+		if !sc.globals[g.Name] {
+			return fmt.Errorf("%s: '&' may only take the address of a global (got %q)", g.Pos, g.Name)
+		}
+		return nil
+	case *ADeref:
+		return sc.resolve(g.Ptr, g.Pos)
+	case *ANeg:
+		return sc.checkTerm(g.X)
+	case *ACall:
+		return sc.checkCall(g, true)
+	case *ABin:
+		switch g.Op {
+		case Plus, Minus, Star:
+			if err := sc.checkTerm(g.X); err != nil {
+				return err
+			}
+			return sc.checkTerm(g.Y)
+		}
+		return fmt.Errorf("%s: boolean expression used as a value", g.Pos)
+	case *ANot:
+		return fmt.Errorf("%s: boolean expression used as a value", g.Pos)
+	}
+	return fmt.Errorf("%s: unknown expression %T", e.Position(), e)
+}
+
+// checkCond verifies e is usable as a condition: a boolean expression, or
+// an integer term (interpreted as t != 0).
+func (sc *scope) checkCond(e AExpr) error {
+	switch g := e.(type) {
+	case *ANot:
+		return sc.checkCond(g.X)
+	case *ABin:
+		switch g.Op {
+		case AndAnd, OrOr:
+			if err := sc.checkCond(g.X); err != nil {
+				return err
+			}
+			return sc.checkCond(g.Y)
+		case EqEq, NotEq, Lt, Le, Gt, Ge:
+			if err := sc.checkTerm(g.X); err != nil {
+				return err
+			}
+			return sc.checkTerm(g.Y)
+		default:
+			return sc.checkTerm(e)
+		}
+	default:
+		return sc.checkTerm(e)
+	}
+}

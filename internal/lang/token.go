@@ -1,0 +1,111 @@
+// Package lang implements the MiniNesC frontend: a small C-like modelling
+// language with global/local integer variables, functions (inlined during
+// CFA construction), threads, nesC-style atomic sections, nondeterministic
+// choice, and assume statements.
+//
+// MiniNesC stands in for the nesC-compiled C sources the paper's tool
+// consumed through CIL: the race checker operates on control-flow automata,
+// so any frontend producing the same CFAs exercises the same verifier.
+package lang
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwGlobal
+	KwLocal
+	KwInt
+	KwVoid
+	KwThread
+	KwIf
+	KwElse
+	KwWhile
+	KwAtomic
+	KwSkip
+	KwAssume
+	KwReturn
+	KwBreak
+	KwContinue
+	KwChoose
+	KwOr
+
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	Semi
+	Comma
+	Assign
+	Star // '*' both multiplication and nondet
+	Plus
+	Minus
+	EqEq
+	NotEq
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+	Not
+	Amp // '&' address-of
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	KwGlobal: "'global'", KwLocal: "'local'", KwInt: "'int'", KwVoid: "'void'",
+	KwThread: "'thread'", KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'",
+	KwAtomic: "'atomic'", KwSkip: "'skip'", KwAssume: "'assume'",
+	KwReturn: "'return'", KwBreak: "'break'", KwContinue: "'continue'",
+	KwChoose: "'choose'", KwOr: "'or'",
+	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
+	Semi: "';'", Comma: "','", Assign: "'='", Star: "'*'", Plus: "'+'",
+	Minus: "'-'", EqEq: "'=='", NotEq: "'!='", Lt: "'<'", Le: "'<='",
+	Gt: "'>'", Ge: "'>='", AndAnd: "'&&'", OrOr: "'||'", Not: "'!'",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"global": KwGlobal, "local": KwLocal, "int": KwInt, "void": KwVoid,
+	"thread": KwThread, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"atomic": KwAtomic, "skip": KwSkip, "assume": KwAssume,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"choose": KwChoose, "or": KwOr,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,241 @@
+// Package lockset implements an Eraser-style dynamic lockset race detector
+// (Savage et al., TOCS 1997) over the concrete MiniNesC interpreter, as the
+// paper's representative of the lockset-based tool family that raises
+// false positives on state-variable synchronisation idioms.
+//
+// MiniNesC has a single locking discipline — nesC atomic sections, which
+// TinyOS implements by disabling interrupts — modelled here as one global
+// pseudo-lock held exactly while a thread executes inside an atomic
+// section. Eraser's per-variable state machine is implemented in full:
+// Virgin -> Exclusive -> Shared / Shared-Modified, with lockset refinement
+// and warnings only in the states Eraser warns in.
+package lockset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"circ/internal/cfa"
+	"circ/internal/explicit"
+	"circ/internal/expr"
+)
+
+// VarState is the Eraser per-variable automaton state.
+type VarState int
+
+// Eraser states.
+const (
+	Virgin VarState = iota
+	Exclusive
+	Shared
+	SharedModified
+)
+
+func (s VarState) String() string {
+	switch s {
+	case Virgin:
+		return "virgin"
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case SharedModified:
+		return "shared-modified"
+	}
+	return fmt.Sprintf("VarState(%d)", int(s))
+}
+
+// the single pseudo-lock: nesC atomic sections / interrupt disabling.
+const atomicLock = "atomic"
+
+type varInfo struct {
+	state     VarState
+	owner     int
+	lockset   map[string]bool // candidate lockset C(v)
+	warned    bool
+	firstWarn string
+}
+
+// Report is the analysis outcome.
+type Report struct {
+	// Warnings maps each global variable with an empty candidate lockset
+	// in a warning state to a description of the first offending access.
+	Warnings map[string]string
+	// Runs and Steps record how much dynamic coverage was used.
+	Runs, Steps int
+}
+
+// Racy reports whether variable x was flagged.
+func (r *Report) Racy(x string) bool {
+	_, ok := r.Warnings[x]
+	return ok
+}
+
+func (r *Report) String() string {
+	if len(r.Warnings) == 0 {
+		return "lockset: no warnings"
+	}
+	vars := make([]string, 0, len(r.Warnings))
+	for v := range r.Warnings {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "lockset: potential race on %s: %s\n", v, r.Warnings[v])
+	}
+	return b.String()
+}
+
+// Options configures the dynamic analysis.
+type Options struct {
+	// Runs is the number of random schedules (default 20).
+	Runs int
+	// StepsPerRun bounds each schedule (default 2000).
+	StepsPerRun int
+	// Seed seeds the scheduler.
+	Seed int64
+	// Exec configures the underlying interpreter.
+	Exec explicit.Options
+}
+
+func (o Options) runs() int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	return 20
+}
+
+func (o Options) steps() int {
+	if o.StepsPerRun > 0 {
+		return o.StepsPerRun
+	}
+	return 2000
+}
+
+// Analyze runs the Eraser algorithm over random schedules of the instance
+// and reports per-variable warnings.
+func Analyze(in *explicit.Instance, opts Options) (*Report, error) {
+	vars := make(map[string]*varInfo)
+	// The lockset state persists across runs: Eraser accumulates evidence
+	// over the whole observed execution history.
+	globals := make(map[string]bool)
+	for _, c := range in.CFAs {
+		for _, g := range c.Globals {
+			globals[g] = true
+		}
+	}
+	steps := 0
+	for run := 0; run < opts.runs(); run++ {
+		err := in.RandomRun(opts.Seed+int64(run)*7919, opts.steps(), opts.Exec, func(c *explicit.Config, s explicit.Step) {
+			steps++
+			held := map[string]bool{}
+			if in.CFAs[s.Thread].IsAtomic(s.Edge.Src) {
+				held[atomicLock] = true
+			}
+			for _, acc := range accessesOf(s.Edge.Op, globals) {
+				onAccess(vars, acc.v, s.Thread, acc.write, held, s.Edge)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep := &Report{Warnings: make(map[string]string), Runs: opts.runs(), Steps: steps}
+	for v, info := range vars {
+		if info.warned {
+			rep.Warnings[v] = info.firstWarn
+		}
+	}
+	return rep, nil
+}
+
+type access struct {
+	v     string
+	write bool
+}
+
+// accessesOf lists the global variables an operation reads or writes.
+func accessesOf(op cfa.Op, globals map[string]bool) []access {
+	var out []access
+	switch op.Kind {
+	case cfa.OpAssign:
+		for v := range expr.FreeVars(op.RHS) {
+			if globals[v] {
+				out = append(out, access{v: v, write: false})
+			}
+		}
+		if globals[op.LHS] {
+			out = append(out, access{v: op.LHS, write: true})
+		}
+	case cfa.OpHavoc:
+		if globals[op.LHS] {
+			out = append(out, access{v: op.LHS, write: true})
+		}
+	case cfa.OpAssume:
+		for v := range expr.FreeVars(op.Pred) {
+			if globals[v] {
+				out = append(out, access{v: v, write: false})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	return out
+}
+
+// onAccess advances the Eraser state machine for one access.
+func onAccess(vars map[string]*varInfo, v string, thread int, write bool, held map[string]bool, edge *cfa.Edge) {
+	info, ok := vars[v]
+	if !ok {
+		info = &varInfo{state: Virgin, owner: -1, lockset: map[string]bool{atomicLock: true}}
+		vars[v] = info
+	}
+	switch info.state {
+	case Virgin:
+		if write {
+			info.state = Exclusive
+			info.owner = thread
+		}
+		// Eraser tracks reads of virgin data as exclusive too.
+		if !write {
+			info.state = Exclusive
+			info.owner = thread
+		}
+		return
+	case Exclusive:
+		if thread == info.owner {
+			return
+		}
+		// Second thread: refine the lockset now.
+		intersect(info.lockset, held)
+		if write {
+			info.state = SharedModified
+		} else {
+			info.state = Shared
+		}
+	case Shared:
+		intersect(info.lockset, held)
+		if write {
+			info.state = SharedModified
+		}
+	case SharedModified:
+		intersect(info.lockset, held)
+	}
+	if info.state == SharedModified && len(info.lockset) == 0 && !info.warned {
+		info.warned = true
+		kind := "read"
+		if write {
+			kind = "write"
+		}
+		info.firstWarn = fmt.Sprintf("%s by thread %d at %s with empty lockset (op %s)", kind, thread, edge.Pos, edge.Op)
+	}
+}
+
+func intersect(dst map[string]bool, src map[string]bool) {
+	for l := range dst {
+		if !src[l] {
+			delete(dst, l)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package param
+
+import (
+	"testing"
+
+	"circ/internal/cfa"
+	"circ/internal/lang"
+)
+
+func build(t *testing.T, src string) *cfa.CFA {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := cfa.Build(p, "")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return c
+}
+
+func TestAtomicCounterSafe(t *testing.T) {
+	c := build(t, `
+global int x;
+thread T {
+  while (1) { atomic { x = x + 1; } }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%s), want safe", res.Verdict, res.Reason)
+	}
+	if res.K != 1 {
+		t.Fatalf("k = %d, want 1 (no refinement needed)", res.K)
+	}
+}
+
+func TestUnprotectedUnsafe(t *testing.T) {
+	c := build(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe", res.Verdict)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatalf("unsafe verdict without trace")
+	}
+	// Algorithm 6's genuineness criterion: the trace is no longer than k.
+	if len(res.Trace) > res.K {
+		t.Fatalf("trace length %d exceeds k=%d", len(res.Trace), res.K)
+	}
+}
+
+func TestFlagProtocolSafe(t *testing.T) {
+	// A finite-state spin-lock protocol: busy is the only guard; the whole
+	// critical section sits inside atomic claims so x never races.
+	c := build(t, `
+global int x;
+global int busy;
+thread T {
+  while (1) {
+    atomic {
+      if (busy == 0) {
+        busy = 1;
+        x = x + 1;
+      }
+    }
+    atomic { busy = 0; }
+  }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v (%s), want safe", res.Verdict, res.Reason)
+	}
+}
+
+func TestStateGuardedButNonAtomicRace(t *testing.T) {
+	// The test-and-set idiom WITHOUT locals cannot be written; an
+	// unguarded two-phase write races.
+	c := build(t, `
+global int x;
+global int s;
+thread T {
+  while (1) {
+    if (s == 0) { s = 1; x = x + 1; s = 0; }
+  }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe (check-then-act without atomicity)", res.Verdict)
+	}
+}
+
+func TestRejectsLocals(t *testing.T) {
+	c := build(t, `
+global int x;
+thread T {
+  local int l;
+  l = x;
+}
+`)
+	if _, err := Check(c, "x", Options{}); err == nil {
+		t.Fatalf("expected error for thread with locals")
+	}
+}
+
+func TestRejectsNonGlobal(t *testing.T) {
+	c := build(t, `
+global int x;
+thread T {
+  x = 1;
+}
+`)
+	if _, err := Check(c, "nope", Options{}); err == nil {
+		t.Fatalf("expected error for unknown variable")
+	}
+}
+
+func TestHavocRace(t *testing.T) {
+	c := build(t, `
+global int x;
+thread T {
+  while (1) { x = *; }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe (havoc write-write)", res.Verdict)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Safe.String() != "safe" || Unsafe.String() != "unsafe" || Unknown.String() != "unknown" {
+		t.Fatalf("verdict strings broken")
+	}
+}
+
+func TestKRefinementProgress(t *testing.T) {
+	// A program whose shortest race needs two moved threads: k must grow
+	// past 1 before Unsafe is reported.
+	c := build(t, `
+global int x;
+global int gate;
+thread T {
+  while (1) {
+    assume(gate == 0);
+    gate = 1;
+    x = x + 1;
+    gate = 0;
+  }
+}
+`)
+	res, err := Check(c, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe", res.Verdict)
+	}
+	if res.K < 2 {
+		t.Fatalf("k = %d, expected counter refinement past 1", res.K)
+	}
+}

@@ -1,0 +1,372 @@
+// Package pred implements predicate abstraction: three-valued cubes over a
+// finite predicate set, DNF regions, and the cartesian abstract post
+// operators for assignment, assume, and havoc edges.
+//
+// A cube assigns each predicate True, False, or Unknown and denotes the
+// conjunction of the decided literals; a region is a finite disjunction of
+// cubes. Abstraction queries are discharged by the smt package.
+package pred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"circ/internal/expr"
+	"circ/internal/smt"
+)
+
+// Set is an ordered, deduplicated set of predicate atoms. All cubes over
+// the same analysis share one Set.
+type Set struct {
+	preds []expr.Expr
+	index map[string]int
+}
+
+// NewSet returns a predicate set containing the given atoms.
+func NewSet(preds ...expr.Expr) *Set {
+	s := &Set{index: make(map[string]int)}
+	for _, p := range preds {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts an atom, reporting whether it was new. Atoms are simplified
+// and deduplicated by canonical key.
+func (s *Set) Add(p expr.Expr) bool {
+	p = expr.Simplify(p)
+	if _, ok := p.(expr.Bool); ok {
+		return false // trivial predicates carry no information
+	}
+	k := p.Key()
+	if _, ok := s.index[k]; ok {
+		return false
+	}
+	s.index[k] = len(s.preds)
+	s.preds = append(s.preds, p)
+	return true
+}
+
+// Len returns the number of predicates.
+func (s *Set) Len() int { return len(s.preds) }
+
+// At returns the i-th predicate.
+func (s *Set) At(i int) expr.Expr { return s.preds[i] }
+
+// Preds returns the predicates in order.
+func (s *Set) Preds() []expr.Expr { return append([]expr.Expr(nil), s.preds...) }
+
+func (s *Set) String() string {
+	parts := make([]string, len(s.preds))
+	for i, p := range s.preds {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// TV is a three-valued literal assignment.
+type TV int8
+
+// Truth values.
+const (
+	Unknown TV = iota
+	True
+	False
+)
+
+func (v TV) String() string {
+	switch v {
+	case True:
+		return "T"
+	case False:
+		return "F"
+	}
+	return "?"
+}
+
+// Cube is a conjunction of decided literals over a Set. The zero-length
+// cube (all Unknown) denotes true.
+type Cube struct {
+	set *Set
+	tv  []TV
+}
+
+// TopCube returns the all-Unknown cube (denoting true) over s.
+func TopCube(s *Set) *Cube {
+	return &Cube{set: s, tv: make([]TV, s.Len())}
+}
+
+// NewCube builds a cube with the given assignments (indices into the set).
+func NewCube(s *Set, assign map[int]TV) *Cube {
+	c := TopCube(s)
+	for i, v := range assign {
+		c.tv[i] = v
+	}
+	return c
+}
+
+// Set returns the predicate set the cube ranges over.
+func (c *Cube) Set() *Set { return c.set }
+
+// TV returns the truth value of predicate i.
+func (c *Cube) TV(i int) TV { return c.tv[i] }
+
+// Key returns a canonical key (one character per predicate).
+func (c *Cube) Key() string {
+	var b strings.Builder
+	for _, v := range c.tv {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Formula returns the conjunction of the cube's decided literals.
+func (c *Cube) Formula() expr.Expr {
+	var parts []expr.Expr
+	for i, v := range c.tv {
+		switch v {
+		case True:
+			parts = append(parts, c.set.At(i))
+		case False:
+			parts = append(parts, expr.Negate(c.set.At(i)))
+		}
+	}
+	return expr.Conj(parts...)
+}
+
+func (c *Cube) String() string {
+	f := c.Formula()
+	if b, ok := f.(expr.Bool); ok && b.Value {
+		return "true"
+	}
+	return f.String()
+}
+
+// Clone returns a copy of the cube.
+func (c *Cube) Clone() *Cube {
+	return &Cube{set: c.set, tv: append([]TV(nil), c.tv...)}
+}
+
+// SubsumedBy reports whether c's constraints include all of d's, i.e. d is
+// syntactically weaker (every decided literal of d is decided the same way
+// in c).
+func (c *Cube) SubsumedBy(d *Cube) bool {
+	for i, v := range d.tv {
+		if v != Unknown && c.tv[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectLocals returns the cube with every predicate mentioning a
+// non-global variable reset to Unknown (the paper's local-variable
+// quantification during Collapse).
+func (c *Cube) ProjectLocals(isGlobal func(string) bool) *Cube {
+	out := c.Clone()
+	for i := range out.tv {
+		if out.tv[i] == Unknown {
+			continue
+		}
+		for v := range expr.FreeVars(c.set.At(i)) {
+			if !isGlobal(v) {
+				out.tv[i] = Unknown
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ProjectVars returns the cube with every predicate mentioning a variable
+// in drop reset to Unknown (existential projection, over-approximated at
+// cube granularity).
+func (c *Cube) ProjectVars(drop map[string]bool) *Cube {
+	out := c.Clone()
+	for i := range out.tv {
+		if out.tv[i] == Unknown {
+			continue
+		}
+		if expr.MentionsAny(c.set.At(i), drop) {
+			out.tv[i] = Unknown
+		}
+	}
+	return out
+}
+
+// Region is a finite disjunction of cubes over a common Set. The empty
+// region denotes false.
+type Region struct {
+	set   *Set
+	cubes []*Cube
+	keys  map[string]bool
+}
+
+// NewRegion returns an empty (false) region over s.
+func NewRegion(s *Set) *Region {
+	return &Region{set: s, keys: make(map[string]bool)}
+}
+
+// Add inserts a cube, reporting whether it was new.
+func (r *Region) Add(c *Cube) bool {
+	k := c.Key()
+	if r.keys[k] {
+		return false
+	}
+	r.keys[k] = true
+	r.cubes = append(r.cubes, c)
+	return true
+}
+
+// AddRegion unions another region into r.
+func (r *Region) AddRegion(o *Region) {
+	for _, c := range o.cubes {
+		r.Add(c)
+	}
+}
+
+// Cubes returns the cubes in insertion order.
+func (r *Region) Cubes() []*Cube { return r.cubes }
+
+// Len returns the number of cubes.
+func (r *Region) Len() int { return len(r.cubes) }
+
+// Formula returns the disjunction of the cubes' formulas.
+func (r *Region) Formula() expr.Expr {
+	parts := make([]expr.Expr, len(r.cubes))
+	for i, c := range r.cubes {
+		parts[i] = c.Formula()
+	}
+	return expr.Disj(parts...)
+}
+
+// Key returns a canonical key: the sorted cube keys.
+func (r *Region) Key() string {
+	ks := make([]string, 0, len(r.cubes))
+	for k := range r.keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "|")
+}
+
+// Clone returns a copy of the region.
+func (r *Region) Clone() *Region {
+	out := NewRegion(r.set)
+	out.AddRegion(r)
+	return out
+}
+
+// ProjectLocals projects every cube (see Cube.ProjectLocals).
+func (r *Region) ProjectLocals(isGlobal func(string) bool) *Region {
+	out := NewRegion(r.set)
+	for _, c := range r.cubes {
+		out.Add(c.ProjectLocals(isGlobal))
+	}
+	return out
+}
+
+// ProjectVars projects every cube (see Cube.ProjectVars).
+func (r *Region) ProjectVars(drop map[string]bool) *Region {
+	out := NewRegion(r.set)
+	for _, c := range r.cubes {
+		out.Add(c.ProjectVars(drop))
+	}
+	return out
+}
+
+func (r *Region) String() string {
+	if len(r.cubes) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(r.cubes))
+	for i, c := range r.cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// TrueRegion returns the region containing only the top cube.
+func TrueRegion(s *Set) *Region {
+	r := NewRegion(s)
+	r.Add(TopCube(s))
+	return r
+}
+
+// Abstractor computes cartesian predicate abstraction using an SMT checker.
+type Abstractor struct {
+	Chk *smt.Checker
+	Set *Set
+}
+
+// NewAbstractor returns an abstractor over the given set.
+func NewAbstractor(chk *smt.Checker, s *Set) *Abstractor {
+	return &Abstractor{Chk: chk, Set: s}
+}
+
+// Abstract computes the cartesian abstraction of formula phi: the
+// strongest cube implied by phi. It returns nil when phi is unsatisfiable
+// (abstract bottom).
+func (a *Abstractor) Abstract(phi expr.Expr) *Cube {
+	phi = expr.Simplify(phi)
+	if a.Chk.Sat(phi) == smt.Unsat {
+		return nil
+	}
+	c := TopCube(a.Set)
+	for i := 0; i < a.Set.Len(); i++ {
+		p := a.Set.At(i)
+		if a.Chk.Implies(phi, p) {
+			c.tv[i] = True
+		} else if a.Chk.Implies(phi, expr.Negate(p)) {
+			c.tv[i] = False
+		}
+	}
+	return c
+}
+
+// oldName returns the primed-out name used to existentially refer to the
+// pre-state value of v in strongest-postcondition formulas. The '%'
+// character cannot appear in source identifiers.
+func oldName(v string) string { return v + "%old" }
+
+// PostAssign computes the abstract successor of cube c under x := rhs.
+// Returns nil for abstract bottom.
+func (a *Abstractor) PostAssign(c *Cube, x string, rhs expr.Expr, extra expr.Expr) *Cube {
+	old := expr.V(oldName(x))
+	phi := expr.SubstVar(c.Formula(), x, old)
+	eq := expr.Eq(expr.V(x), expr.SubstVar(rhs, x, old))
+	return a.Abstract(expr.Conj(phi, eq, extra))
+}
+
+// PostAssume computes the abstract successor of cube c under assume(p).
+// Returns nil when the guarded state is unsatisfiable.
+func (a *Abstractor) PostAssume(c *Cube, p expr.Expr, extra expr.Expr) *Cube {
+	return a.Abstract(expr.Conj(c.Formula(), p, extra))
+}
+
+// PostHavoc computes the abstract successor of cube c after the variables
+// in ys receive arbitrary values, constrained by target (the label of the
+// destination abstract location) and extra (the context invariant).
+func (a *Abstractor) PostHavoc(c *Cube, ys []string, target expr.Expr, extra expr.Expr) *Cube {
+	phi := c.Formula()
+	m := make(map[string]expr.Expr, len(ys))
+	for _, y := range ys {
+		m[y] = expr.V(oldName(y))
+	}
+	phi = expr.Subst(phi, m)
+	return a.Abstract(expr.Conj(phi, target, extra))
+}
+
+// InitialCube abstracts the initial state where all listed variables are 0.
+func (a *Abstractor) InitialCube(vars []string) *Cube {
+	parts := make([]expr.Expr, len(vars))
+	for i, v := range vars {
+		parts[i] = expr.Eq(expr.V(v), expr.Num(0))
+	}
+	cube := a.Abstract(expr.Conj(parts...))
+	if cube == nil {
+		panic(fmt.Sprintf("pred: initial state unsatisfiable for vars %v", vars))
+	}
+	return cube
+}

@@ -1,0 +1,229 @@
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"circ/internal/acfa"
+	"circ/internal/cfa"
+	"circ/internal/pred"
+)
+
+// ARG is the abstract reachability graph built alongside reachability
+// (paper Algorithms 2-4). Its locations group abstract thread states; the
+// context-state component is dropped. Program operations become edges
+// labelled with the written variables; environment moves identify source
+// and target locations (ARG condition (4)), implemented with a union-find.
+//
+// The ARG also records the underlying program-operation transitions
+// between thread states, which the refiner uses to concretise abstract
+// context paths into CFA paths.
+type ARG struct {
+	C   *cfa.CFA
+	Set *pred.Set
+
+	parent  []int          // union-find over location ids
+	region  []*pred.Region // per root: union of member cubes
+	cfaLoc  []cfa.Loc      // per location: the shared CFA location
+	members [][]ThreadState
+
+	stateLoc map[string]int // thread-state key -> location id
+
+	edges []argEdge // program-op edges (raw ids; canonicalise via Find)
+
+	// opEdges records program transitions at thread-state granularity for
+	// trace concretisation.
+	opEdges map[string][]OpTransition
+
+	entryKey string
+}
+
+type argEdge struct {
+	src, dst int
+	havoc    map[string]bool // written variables (possibly empty: assume)
+}
+
+// OpTransition is a program-op move between two abstract thread states.
+type OpTransition struct {
+	SrcKey string
+	Edge   *cfa.Edge
+	Dst    ThreadState
+}
+
+// NewARG returns an empty ARG for thread C over predicate set s.
+func NewARG(c *cfa.CFA, s *pred.Set) *ARG {
+	return &ARG{
+		C:        c,
+		Set:      s,
+		stateLoc: make(map[string]int),
+		opEdges:  make(map[string][]OpTransition),
+	}
+}
+
+// Find returns the canonical location id for id.
+func (g *ARG) Find(id int) int {
+	for g.parent[id] != id {
+		g.parent[id] = g.parent[g.parent[id]]
+		id = g.parent[id]
+	}
+	return id
+}
+
+// FindState returns the canonical location id holding thread state key, or
+// -1.
+func (g *ARG) FindState(key string) int {
+	id, ok := g.stateLoc[key]
+	if !ok {
+		return -1
+	}
+	return g.Find(id)
+}
+
+// EntryLoc returns the location of the initial thread state.
+func (g *ARG) EntryLoc() int { return g.FindState(g.entryKey) }
+
+// EntryKey returns the initial thread state's key.
+func (g *ARG) EntryKey() string { return g.entryKey }
+
+// NumRawLocs returns the number of allocated (pre-union) location ids.
+func (g *ARG) NumRawLocs() int { return len(g.parent) }
+
+// register ensures thread state r has a location (paper Algorithm 3,
+// Find). It returns the canonical location id.
+func (g *ARG) register(r ThreadState) int {
+	key := r.Key()
+	if id, ok := g.stateLoc[key]; ok {
+		return g.Find(id)
+	}
+	id := len(g.parent)
+	g.parent = append(g.parent, id)
+	reg := pred.NewRegion(g.Set)
+	reg.Add(r.Cube)
+	g.region = append(g.region, reg)
+	g.cfaLoc = append(g.cfaLoc, r.Loc)
+	g.members = append(g.members, []ThreadState{r})
+	g.stateLoc[key] = id
+	return id
+}
+
+// SetEntry records the initial thread state.
+func (g *ARG) SetEntry(r ThreadState) {
+	g.entryKey = r.Key()
+	g.register(r)
+}
+
+// ConnectMain records a program-op transition r --edge--> r2 (paper
+// Algorithm 2).
+func (g *ARG) ConnectMain(r ThreadState, edge *cfa.Edge, r2 ThreadState) {
+	src := g.register(r)
+	dst := g.register(r2)
+	havoc := map[string]bool{}
+	if w := edge.Op.WritesVar(); w != "" {
+		havoc[w] = true
+	}
+	g.edges = append(g.edges, argEdge{src: src, dst: dst, havoc: havoc})
+	g.opEdges[r.Key()] = append(g.opEdges[r.Key()], OpTransition{SrcKey: r.Key(), Edge: edge, Dst: r2})
+}
+
+// ConnectEnv records an environment move from r to r2: both thread states
+// are identified into a single location (ARG condition (4), the paper's
+// Union for context edges).
+func (g *ARG) ConnectEnv(r ThreadState, r2 ThreadState) {
+	a := g.register(r)
+	b := g.register(r2)
+	g.union(a, b)
+}
+
+// union merges two locations (paper Algorithm 4).
+func (g *ARG) union(a, b int) {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return
+	}
+	if g.cfaLoc[ra] != g.cfaLoc[rb] {
+		panic(fmt.Sprintf("reach: union across CFA locations %d and %d", g.cfaLoc[ra], g.cfaLoc[rb]))
+	}
+	g.parent[rb] = ra
+	g.region[ra].AddRegion(g.region[rb])
+	g.members[ra] = append(g.members[ra], g.members[rb]...)
+	g.region[rb] = nil
+	g.members[rb] = nil
+}
+
+// OpTransitionsFrom returns the recorded program transitions out of the
+// thread state with the given key.
+func (g *ARG) OpTransitionsFrom(key string) []OpTransition { return g.opEdges[key] }
+
+// Roots returns the canonical location ids in ascending order.
+func (g *ARG) Roots() []int {
+	var out []int
+	for id := range g.parent {
+		if g.Find(id) == id {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Region returns the label region of canonical location id.
+func (g *ARG) Region(id int) *pred.Region { return g.region[g.Find(id)] }
+
+// CFALoc returns the CFA location shared by the states of location id.
+func (g *ARG) CFALoc(id int) cfa.Loc { return g.cfaLoc[g.Find(id)] }
+
+// Members returns the thread states grouped at canonical location id.
+func (g *ARG) Members(id int) []ThreadState { return g.members[g.Find(id)] }
+
+// ToACFA converts the ARG into an ACFA whose labels are the location
+// regions projected to global variables and whose edge havoc sets are
+// intersected with the globals (local writes become tau edges). It also
+// returns the map from canonical ARG location ids to ACFA locations.
+func (g *ARG) ToACFA() (*acfa.ACFA, map[int]acfa.Loc) {
+	a := &acfa.ACFA{}
+	locMap := make(map[int]acfa.Loc)
+	roots := g.Roots()
+	for _, r := range roots {
+		label := g.region[r].ProjectLocals(g.C.IsGlobal)
+		locMap[r] = a.AddLoc(label, g.C.IsAtomic(g.cfaLoc[r]))
+	}
+	// Group edges by canonical endpoints, union havoc sets.
+	type pair struct{ s, d acfa.Loc }
+	grouped := make(map[pair]map[string]bool)
+	for _, e := range g.edges {
+		p := pair{locMap[g.Find(e.src)], locMap[g.Find(e.dst)]}
+		hs, ok := grouped[p]
+		if !ok {
+			hs = make(map[string]bool)
+			grouped[p] = hs
+		}
+		for v := range e.havoc {
+			if g.C.IsGlobal(v) {
+				hs[v] = true
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(grouped))
+	for p := range grouped {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].d < pairs[j].d
+	})
+	for _, p := range pairs {
+		hs := grouped[p]
+		havoc := make([]string, 0, len(hs))
+		for v := range hs {
+			havoc = append(havoc, v)
+		}
+		a.AddEdge(p.s, p.d, havoc)
+	}
+	if g.entryKey != "" {
+		a.Entry = locMap[g.EntryLoc()]
+	}
+	a.Finish()
+	return a, locMap
+}

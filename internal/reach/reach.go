@@ -1,0 +1,375 @@
+package reach
+
+import (
+	"fmt"
+
+	"circ/internal/acfa"
+	"circ/internal/cfa"
+	"circ/internal/expr"
+	"circ/internal/pred"
+)
+
+// Options configures ReachAndBuild.
+type Options struct {
+	// K is the counter parameter: counts above K abstract to Omega.
+	K int
+	// ExactSeed seeds the ACFA entry location with exactly K threads
+	// instead of Omega (the omega-CIRC ReachAndBuild_k variant).
+	ExactSeed bool
+	// MaxStates bounds exploration; 0 means the default (200000).
+	MaxStates int
+	// MaxRaces caps how many distinct race traces are collected; 0 means
+	// the default (64).
+	MaxRaces int
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return 200000
+}
+
+func (o Options) maxRaces() int {
+	if o.MaxRaces > 0 {
+		return o.MaxRaces
+	}
+	return 64
+}
+
+// Result is the outcome of ReachAndBuild.
+type Result struct {
+	// Races holds the abstract counterexamples for every reachable race
+	// state (shortest first, capped at MaxRaces). Exploring all of them
+	// lets the refiner fall back to alternative interleavings when the
+	// first trace is spurious for reasons the abstraction cannot express.
+	Races []*Trace
+	// ARG is the abstract reachability graph built during exploration.
+	ARG *ARG
+	// NumStates is the number of distinct abstract states explored.
+	NumStates int
+}
+
+// Race returns the first (shortest) race trace, or nil.
+func (r *Result) Race() *Trace {
+	if len(r.Races) == 0 {
+		return nil
+	}
+	return r.Races[0]
+}
+
+type parentInfo struct {
+	parentKey string
+	op        Op
+	state     *State
+}
+
+// ReachAndBuild explores the abstract multithreaded program ((C,P),(A,k)),
+// checking for races on raceVar, and builds the ARG. abs carries the
+// predicate set P and the SMT checker.
+func ReachAndBuild(C *cfa.CFA, A *acfa.ACFA, abs *pred.Abstractor, raceVar string, opts Options) (*Result, error) {
+	e := &explorer{C: C, A: A, abs: abs, raceVar: raceVar, opts: opts,
+		postCache: make(map[string]*pred.Cube)}
+	return e.run()
+}
+
+type explorer struct {
+	C       *cfa.CFA
+	A       *acfa.ACFA
+	abs     *pred.Abstractor
+	raceVar string
+	opts    Options
+
+	// postCache memoises abstract posts: states sharing a thread state but
+	// differing in counters would otherwise recompute identical SMT-heavy
+	// posts. Keyed by thread-state key + edge identity (+ target cube for
+	// env moves); nil entries record bottom.
+	postCache map[string]*pred.Cube
+}
+
+func (e *explorer) cachedPost(key string, compute func() *pred.Cube) *pred.Cube {
+	if c, ok := e.postCache[key]; ok {
+		return c
+	}
+	c := compute()
+	e.postCache[key] = c
+	return c
+}
+
+func (e *explorer) run() (*Result, error) {
+	arg := NewARG(e.C, e.abs.Set)
+
+	allVars := append(append([]string(nil), e.C.Globals...), e.C.Locals...)
+	cube0 := e.abs.InitialCube(allVars)
+	ctx0 := make(Ctx, e.A.NumLocs())
+	if e.opts.ExactSeed {
+		ctx0[e.A.Entry] = e.opts.K
+	} else {
+		ctx0[e.A.Entry] = Omega
+	}
+	init := &State{TS: ThreadState{Loc: e.C.Entry, Cube: cube0}, Ctx: ctx0}
+	arg.SetEntry(init.TS)
+
+	seen := make(map[string]*parentInfo)
+	seen[init.Key()] = &parentInfo{state: init}
+	queue := []*State{init}
+	numStates := 0
+	var races []*Trace
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		numStates++
+		if numStates > e.opts.maxStates() {
+			return nil, fmt.Errorf("reach: state budget exceeded (%d states)", e.opts.maxStates())
+		}
+		if e.isRace(s) {
+			races = append(races, e.buildTrace(seen, s))
+			if len(races) >= e.opts.maxRaces() {
+				// Enough counterexamples for this refinement round; the
+				// ARG is partial but unused on the error path.
+				break
+			}
+		}
+		for _, succ := range e.successors(s, arg) {
+			k := succ.state.Key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = &parentInfo{parentKey: s.Key(), op: succ.op, state: succ.state}
+			queue = append(queue, succ.state)
+		}
+	}
+	return &Result{Races: races, ARG: arg, NumStates: numStates}, nil
+}
+
+func (e *explorer) buildTrace(seen map[string]*parentInfo, last *State) *Trace {
+	var rev []*parentInfo
+	cur := seen[last.Key()]
+	for {
+		rev = append(rev, cur)
+		if cur.parentKey == "" {
+			break
+		}
+		cur = seen[cur.parentKey]
+	}
+	t := &Trace{}
+	for i := len(rev) - 1; i >= 0; i-- {
+		t.States = append(t.States, rev[i].state)
+		if i > 0 {
+			t.Steps = append(t.Steps, rev[i-1].op)
+		}
+	}
+	return t
+}
+
+// atomicOccupancy classifies the scheduling state: which ops are enabled.
+func (e *explorer) atomicOccupancy(s *State) (mainEnabled bool, envLocs []acfa.Loc) {
+	mainAtomic := e.C.IsAtomic(s.TS.Loc)
+	var atomicEnv []acfa.Loc
+	for n := 0; n < e.A.NumLocs(); n++ {
+		if e.A.IsAtomic(acfa.Loc(n)) && s.Ctx.Occupied(acfa.Loc(n)) {
+			atomicEnv = append(atomicEnv, acfa.Loc(n))
+		}
+	}
+	total := len(atomicEnv)
+	if mainAtomic {
+		total++
+	}
+	switch {
+	case total == 0:
+		// Everything runs.
+		for n := 0; n < e.A.NumLocs(); n++ {
+			if s.Ctx.Occupied(acfa.Loc(n)) {
+				envLocs = append(envLocs, acfa.Loc(n))
+			}
+		}
+		return true, envLocs
+	case total == 1 && mainAtomic:
+		return true, nil
+	case total == 1:
+		return false, atomicEnv
+	default:
+		// Multiple atomic occupants: nothing is enabled (cannot arise when
+		// the initial location is non-atomic; kept for soundness).
+		return false, nil
+	}
+}
+
+type successor struct {
+	state *State
+	op    Op
+}
+
+// successors expands a state, recording ARG transitions as it goes.
+func (e *explorer) successors(s *State, arg *ARG) []successor {
+	var out []successor
+	dedup := make(map[string]bool)
+	add := func(st *State, op Op) {
+		k := st.Key()
+		if dedup[k] {
+			return
+		}
+		dedup[k] = true
+		out = append(out, successor{state: st, op: op})
+	}
+
+	mainEnabled, envLocs := e.atomicOccupancy(s)
+
+	// Note on the paper's Lambda-G conjunct: the abstract post in the
+	// paper additionally conjoins the labels of all occupied context
+	// locations. Taken literally this is unsound in combination with the
+	// omega-seeded entry location: the entry label would become a
+	// permanent pseudo-invariant pruning the main thread's own writes (a
+	// non-moving context thread's label is not an invariant — other
+	// threads may break it, leaving that thread stuck but the state
+	// reachable). We therefore constrain only by the moving thread's
+	// target label (part of the ACFA transition semantics), which the
+	// worked example's proof actually relies on.
+	tsKey := s.TS.Key()
+	if mainEnabled {
+		for ei, edge := range e.C.OutEdges(s.TS.Loc) {
+			edge := edge
+			next := e.cachedPost(tsKey+"|m"+itoaInt(ei), func() *pred.Cube {
+				switch edge.Op.Kind {
+				case cfa.OpAssign:
+					return e.abs.PostAssign(s.TS.Cube, edge.Op.LHS, edge.Op.RHS, expr.TrueExpr)
+				case cfa.OpAssume:
+					return e.abs.PostAssume(s.TS.Cube, edge.Op.Pred, expr.TrueExpr)
+				case cfa.OpHavoc:
+					return e.abs.PostHavoc(s.TS.Cube, []string{edge.Op.LHS}, expr.TrueExpr, expr.TrueExpr)
+				}
+				return nil
+			})
+			if next == nil {
+				continue
+			}
+			ts2 := ThreadState{Loc: edge.Dst, Cube: next}
+			arg.ConnectMain(s.TS, edge, ts2)
+			add(&State{TS: ts2, Ctx: s.Ctx}, Op{MainEdge: edge})
+		}
+	}
+
+	for _, n := range envLocs {
+		for ai, aedge := range e.A.OutEdges(n) {
+			aedge := aedge
+			ctx2 := s.Ctx.Dec(n).Inc(aedge.Dst, e.opts.K)
+			targets := e.A.Label(aedge.Dst)
+			for ti, tc := range targets.Cubes() {
+				tc := tc
+				key := tsKey + "|e" + itoaInt(int(n)) + "." + itoaInt(ai) + "." + itoaInt(ti)
+				next := e.cachedPost(key, func() *pred.Cube {
+					return e.abs.PostHavoc(s.TS.Cube, aedge.Havoc, tc.Formula(), expr.TrueExpr)
+				})
+				if next == nil {
+					continue
+				}
+				ts2 := ThreadState{Loc: s.TS.Loc, Cube: next}
+				arg.ConnectEnv(s.TS, ts2)
+				add(&State{TS: ts2, Ctx: ctx2}, Op{EnvEdge: aedge})
+			}
+		}
+	}
+	return out
+}
+
+func itoaInt(v int) string { return fmt.Sprintf("%d", v) }
+
+// isRace reports whether s is a race state on e.raceVar: no occupied
+// atomic location, and two distinct threads with enabled accesses of which
+// at least one is a write (paper Section 4.1; abstract threads never
+// read).
+func (e *explorer) isRace(s *State) bool {
+	if e.C.IsAtomic(s.TS.Loc) {
+		return false
+	}
+	for n := 0; n < e.A.NumLocs(); n++ {
+		if e.A.IsAtomic(acfa.Loc(n)) && s.Ctx.Occupied(acfa.Loc(n)) {
+			return false
+		}
+	}
+	x := e.raceVar
+
+	mainWrites := e.C.WritesVarAt(s.TS.Loc, x)
+	mainReads := e.mainReadEnabled(s, x)
+
+	// Context write capability, requiring a genuinely enabled havoc edge.
+	writerLocs := 0
+	multiWriter := false
+	for n := 0; n < e.A.NumLocs(); n++ {
+		if !s.Ctx.Occupied(acfa.Loc(n)) {
+			continue
+		}
+		if !e.envWriteEnabled(s, acfa.Loc(n), x) {
+			continue
+		}
+		writerLocs++
+		if s.Ctx.AtLeastTwo(acfa.Loc(n)) {
+			multiWriter = true
+		}
+	}
+	ctxWrites := writerLocs > 0
+
+	// main vs context.
+	if (mainWrites || mainReads) && ctxWrites {
+		return true
+	}
+	// context vs context (write-write; abstract threads never read).
+	if writerLocs >= 2 || multiWriter {
+		return true
+	}
+	return false
+}
+
+// mainReadEnabled reports whether the main thread has an enabled operation
+// reading x at its current location: an assignment mentioning x on its
+// right-hand side, or an assume mentioning x whose predicate is abstractly
+// satisfiable in the current cube.
+func (e *explorer) mainReadEnabled(s *State, x string) bool {
+	for _, edge := range e.C.OutEdges(s.TS.Loc) {
+		switch edge.Op.Kind {
+		case cfa.OpAssign:
+			if expr.Mentions(edge.Op.RHS, x) {
+				return true
+			}
+		case cfa.OpAssume:
+			// An assume reading x is enabled unless the cube refutes its
+			// predicate (Unknown counts as enabled: sound over-approximation).
+			if expr.Mentions(edge.Op.Pred, x) &&
+				!e.abs.Chk.Implies(s.TS.Cube.Formula(), expr.Negate(edge.Op.Pred)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// envWriteEnabled reports whether some havoc edge out of n writes x and
+// has a non-empty abstract post from the current state. It shares the
+// explorer's post cache with successor expansion (identical computations).
+func (e *explorer) envWriteEnabled(s *State, n acfa.Loc, x string) bool {
+	tsKey := s.TS.Key()
+	for ai, aedge := range e.A.OutEdges(n) {
+		aedge := aedge
+		writes := false
+		for _, v := range aedge.Havoc {
+			if v == x {
+				writes = true
+				break
+			}
+		}
+		if !writes {
+			continue
+		}
+		for ti, tc := range e.A.Label(aedge.Dst).Cubes() {
+			tc := tc
+			key := tsKey + "|e" + itoaInt(int(n)) + "." + itoaInt(ai) + "." + itoaInt(ti)
+			if e.cachedPost(key, func() *pred.Cube {
+				return e.abs.PostHavoc(s.TS.Cube, aedge.Havoc, tc.Formula(), expr.TrueExpr)
+			}) != nil {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+package reach
+
+import (
+	"testing"
+
+	"circ/internal/acfa"
+	"circ/internal/cfa"
+	"circ/internal/expr"
+	"circ/internal/lang"
+	"circ/internal/pred"
+	"circ/internal/smt"
+)
+
+func buildCFA(t *testing.T, src string) *cfa.CFA {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := cfa.Build(p, "")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return c
+}
+
+func TestCtxCounters(t *testing.T) {
+	c := Ctx{0, 1, Omega}
+	if c.Occupied(0) || !c.Occupied(1) || !c.Occupied(2) {
+		t.Fatalf("Occupied broken")
+	}
+	if c.AtLeastTwo(1) || !c.AtLeastTwo(2) {
+		t.Fatalf("AtLeastTwo broken")
+	}
+	// Inc saturates above k.
+	d := c.Inc(1, 1)
+	if d[1] != Omega {
+		t.Fatalf("Inc(1,k=1) = %v", d)
+	}
+	d = c.Inc(0, 2)
+	if d[0] != 1 {
+		t.Fatalf("Inc = %v", d)
+	}
+	// Dec of omega stays omega; of 1 goes to 0.
+	d = c.Dec(2)
+	if d[2] != Omega {
+		t.Fatalf("Dec(omega) = %v", d)
+	}
+	d = c.Dec(1)
+	if d[1] != 0 {
+		t.Fatalf("Dec(1) = %v", d)
+	}
+	if c.Key() != "0,1,w" {
+		t.Fatalf("Key = %q", c.Key())
+	}
+	// Clone must not alias.
+	e := c.CloneCtx()
+	e[0] = 5
+	if c[0] != 0 {
+		t.Fatalf("CloneCtx aliased")
+	}
+}
+
+func TestReachEmptyContextNoRace(t *testing.T) {
+	// A single thread can never race with a do-nothing context.
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	res, err := ReachAndBuild(c, acfa.Empty(set), abs, "x", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("race against empty context: %v", res.Races[0])
+	}
+	if res.NumStates == 0 || len(res.ARG.Roots()) == 0 {
+		t.Fatalf("no exploration happened")
+	}
+}
+
+func TestReachFindsRaceUnderWritingContext(t *testing.T) {
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	// Context that can write x from its entry.
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"x"})
+	a.AddEdge(l1, a.Entry, nil)
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) == 0 {
+		t.Fatalf("expected a race against an x-writing context")
+	}
+	tr := res.Races[0]
+	if len(tr.States) != len(tr.Steps)+1 {
+		t.Fatalf("malformed trace: %d states, %d steps", len(tr.States), len(tr.Steps))
+	}
+}
+
+func TestOmegaEntryWriterRacesWithItself(t *testing.T) {
+	// Omega threads parked at an x-writing location race pairwise even if
+	// the main thread never touches x.
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { atomic { x = x + 1; } }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"x"})
+	a.AddEdge(l1, a.Entry, nil)
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) == 0 {
+		t.Fatalf("context-context race among omega entry threads not detected")
+	}
+}
+
+func TestAtomicBlocksContextMoves(t *testing.T) {
+	// While the main thread sits at an atomic location, no environment
+	// move may fire (atomic scheduling).
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { atomic { x = x + 1; } }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"x"})
+	a.Finish()
+	e := &explorer{C: c, A: a, abs: abs, raceVar: "x", opts: Options{K: 1},
+		postCache: make(map[string]*pred.Cube)}
+	// Find an atomic main location.
+	var atomicLoc cfa.Loc = -1
+	for l := 0; l < c.NumLocs(); l++ {
+		if c.IsAtomic(cfa.Loc(l)) {
+			atomicLoc = cfa.Loc(l)
+			break
+		}
+	}
+	if atomicLoc < 0 {
+		t.Fatalf("no atomic location in CFA")
+	}
+	ctx := make(Ctx, a.NumLocs())
+	ctx[a.Entry] = Omega
+	st := &State{TS: ThreadState{Loc: atomicLoc, Cube: pred.TopCube(set)}, Ctx: ctx}
+	arg := NewARG(c, set)
+	arg.SetEntry(st.TS)
+	for _, s := range e.successors(st, arg) {
+		if s.op.IsEnv() {
+			t.Fatalf("environment move fired while main is atomic: %v", s.op)
+		}
+	}
+	// And a race must not be reported at an atomic state.
+	if e.isRace(st) {
+		t.Fatalf("race reported while main is atomic")
+	}
+}
+
+func TestContextContextRace(t *testing.T) {
+	// Main never accesses x, but two context threads can both reach a
+	// writing location: context-context write-write race.
+	c := buildCFA(t, `
+global int x;
+global int y;
+thread T {
+  while (1) { y = y + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, nil)
+	a.AddEdge(l1, a.Entry, []string{"x"})
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) == 0 {
+		t.Fatalf("context-context race not detected")
+	}
+}
+
+func TestExactSeedLimitsThreads(t *testing.T) {
+	// With ExactSeed and K=0 there are no context threads at all, so no
+	// env moves can happen.
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"x"})
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 0, ExactSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("race with zero context threads")
+	}
+}
+
+func TestARGEnvIdentification(t *testing.T) {
+	// Environment moves register successor thread states at the same ARG
+	// location (condition (4) of the ARG definition).
+	c := buildCFA(t, `
+global int g;
+thread T {
+  while (1) { g = g + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet(expr.Eq(expr.V("g"), expr.Num(0)))
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"g"})
+	a.AddEdge(l1, a.Entry, []string{"g"})
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "g", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.ARG
+	// For every location, all member thread states share one CFA loc.
+	for _, root := range g.Roots() {
+		locs := map[cfa.Loc]bool{}
+		for _, m := range g.Members(root) {
+			locs[m.Loc] = true
+		}
+		if len(locs) != 1 {
+			t.Fatalf("ARG location %d mixes CFA locations %v", root, locs)
+		}
+	}
+}
+
+func TestARGToACFAProjectsLocals(t *testing.T) {
+	c := buildCFA(t, `
+global int g;
+thread T {
+  local int l;
+  l = g;
+  g = l + 1;
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet(
+		expr.Eq(expr.V("l"), expr.V("g")),
+		expr.Eq(expr.V("g"), expr.Num(0)),
+	)
+	abs := pred.NewAbstractor(chk, set)
+	res, err := ReachAndBuild(c, acfa.Empty(set), abs, "g", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, locMap := res.ARG.ToACFA()
+	if len(locMap) != len(res.ARG.Roots()) {
+		t.Fatalf("locMap incomplete")
+	}
+	// No ACFA label may mention the local l.
+	for l := 0; l < a.NumLocs(); l++ {
+		f := a.Label(acfa.Loc(l)).Formula()
+		if expr.Mentions(f, "l") {
+			t.Fatalf("label %v mentions local", f)
+		}
+	}
+	// Havoc sets contain only globals.
+	for _, e := range a.Edges {
+		for _, v := range e.Havoc {
+			if v != "g" {
+				t.Fatalf("non-global havoc %q", v)
+			}
+		}
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	_, err := ReachAndBuild(c, acfa.Empty(set), abs, "x", Options{K: 1, MaxStates: 1})
+	if err == nil {
+		t.Fatalf("expected budget error")
+	}
+}
+
+func TestTraceStringAndOpString(t *testing.T) {
+	c := buildCFA(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	chk := smt.NewChecker()
+	set := pred.NewSet()
+	abs := pred.NewAbstractor(chk, set)
+	a := acfa.Empty(set)
+	l1 := a.AddLoc(pred.TrueRegion(set), false)
+	a.AddEdge(a.Entry, l1, []string{"x"})
+	a.Finish()
+	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Race() == nil {
+		t.Fatalf("expected race")
+	}
+	if res.Race().String() == "" {
+		t.Fatalf("empty trace render")
+	}
+	for _, s := range res.Race().Steps {
+		if s.String() == "" {
+			t.Fatalf("empty op render")
+		}
+	}
+}

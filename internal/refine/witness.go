@@ -1,0 +1,59 @@
+package refine
+
+import (
+	"fmt"
+	"strings"
+
+	"circ/internal/cfa"
+	"circ/internal/expr"
+)
+
+// FormatTraceWithWitness renders an interleaved trace with concrete
+// variable values from an SSA model of its trace formula (obtained when
+// the feasibility check returned satisfiable). Each step that writes a
+// variable is annotated with the written value; assumes show the values
+// of the variables they read. Model entries are SSA names as produced by
+// TraceFormula.
+func FormatTraceWithWitness(c *cfa.CFA, iv *Interleaving, model map[string]int64) string {
+	ver := make(map[string]int)
+	key := func(v string, t int) string {
+		if c.IsGlobal(v) || t == 0 {
+			return v
+		}
+		return v + "@" + itoa(t)
+	}
+	cur := func(v string, t int) string {
+		k := key(v, t)
+		return k + "#" + itoa(ver[k])
+	}
+	lookup := func(ssa string) (int64, bool) {
+		v, ok := model[ssa]
+		return v, ok
+	}
+
+	var b strings.Builder
+	for _, s := range iv.Steps {
+		op := s.Edge.Op
+		fmt.Fprintf(&b, "T%d: %s", s.ThreadID, op)
+		switch op.Kind {
+		case cfa.OpAssign, cfa.OpHavoc:
+			k := key(op.LHS, s.ThreadID)
+			ver[k]++
+			if v, ok := lookup(k + "#" + itoa(ver[k])); ok {
+				fmt.Fprintf(&b, "   [%s = %d]", op.LHS, v)
+			}
+		case cfa.OpAssume:
+			var parts []string
+			for _, v := range expr.SortedVars(op.Pred) {
+				if val, ok := lookup(cur(v, s.ThreadID)); ok {
+					parts = append(parts, fmt.Sprintf("%s = %d", v, val))
+				}
+			}
+			if len(parts) > 0 {
+				fmt.Fprintf(&b, "   [%s]", strings.Join(parts, ", "))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package refine
+
+import (
+	"circ/internal/cfa"
+	"circ/internal/expr"
+)
+
+// MineStrategy selects how predicates are discovered from infeasible
+// traces.
+type MineStrategy int
+
+// Strategies.
+const (
+	// MineAtoms extracts the atoms of a minimal unsat core (the default;
+	// the classic BLAST heuristic).
+	MineAtoms MineStrategy = iota
+	// MineWP propagates weakest preconditions backwards from the last
+	// core clause and collects the atoms of the intermediate conditions
+	// (a proof-slicing approximation of the predicate discovery in
+	// "Abstractions from Proofs").
+	MineWP
+	// MineBoth unions the two.
+	MineBoth
+)
+
+func (s MineStrategy) String() string {
+	switch s {
+	case MineWP:
+		return "wp"
+	case MineBoth:
+		return "both"
+	}
+	return "atoms"
+}
+
+// wpMinePredicates discovers predicates by weakest-precondition
+// propagation: starting from the latest unsat-core clause, the condition
+// is pushed backwards through the interleaved trace; at every core clause
+// passed on the way the current condition's atoms are recorded. SSA
+// decorations are stripped like in minePredicates.
+//
+// stepOf maps each trace-formula clause to the index of the interleaving
+// step that produced it (-1 for the synthetic zero-initialisation
+// clauses, which behave like position -1: before everything).
+func wpMinePredicates(c *cfa.CFA, iv *Interleaving, clauses []expr.Expr, stepOf []int, core []int) []expr.Expr {
+	if len(core) == 0 {
+		return nil
+	}
+	coreSet := make(map[int]bool, len(core))
+	last := -2
+	lastClause := -1
+	for _, ci := range core {
+		coreSet[stepOf[ci]] = true
+		if stepOf[ci] > last {
+			last = stepOf[ci]
+			lastClause = ci
+		}
+	}
+	if lastClause < 0 {
+		return nil
+	}
+	first := last
+	for _, ci := range core {
+		if stepOf[ci] < first {
+			first = stepOf[ci]
+		}
+	}
+
+	seen := make(map[string]bool)
+	var out []expr.Expr
+	record := func(f expr.Expr) {
+		for _, atom := range expr.Atoms(f) {
+			p := expr.Simplify(canonicalAtom(expr.Rename(atom, stripSSA)))
+			if _, ok := p.(expr.Bool); ok {
+				continue
+			}
+			if k := p.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+
+	// The condition being propagated, in SSA form (so substitution through
+	// assignments is exact). Start from the latest core clause.
+	psi := clauses[lastClause]
+	record(psi)
+
+	// Walk the interleaved steps backwards from `last` to `first`,
+	// replaying the SSA versioning to know which SSA name each assignment
+	// defines.
+	names := ssaNamesPerStep(c, iv)
+	for i := last - 1; i >= first && i >= 0; i-- {
+		op := iv.Steps[i].Edge.Op
+		switch op.Kind {
+		case cfa.OpAssign:
+			// psi[x_ssa -> e_ssa]
+			psi = expr.SubstVar(psi, names[i].def, names[i].rhs)
+		case cfa.OpHavoc:
+			// The havoced SSA name becomes unconstrained: drop knowledge by
+			// leaving psi unchanged (its occurrences now refer to an
+			// unconstrained variable; atoms containing it are still worth
+			// recording at the cut below).
+		case cfa.OpAssume:
+			if coreSet[i] {
+				record(psi)
+				psi = expr.Conj(psi, names[i].pred)
+			}
+		}
+	}
+	record(psi)
+	return out
+}
+
+// stepSSA records the SSA effect of one step: for assignments, the defined
+// SSA name and the SSA right-hand side; for assumes, the SSA predicate.
+type stepSSA struct {
+	def  string
+	rhs  expr.Expr
+	pred expr.Expr
+}
+
+// ssaNamesPerStep replays TraceFormula's SSA numbering and returns the
+// per-step SSA facts.
+func ssaNamesPerStep(c *cfa.CFA, iv *Interleaving) []stepSSA {
+	ver := make(map[string]int)
+	key := func(v string, t int) string {
+		if c.IsGlobal(v) || t == 0 {
+			return v
+		}
+		return v + "@" + itoa(t)
+	}
+	cur := func(v string, t int) string {
+		k := key(v, t)
+		return k + "#" + itoa(ver[k])
+	}
+	out := make([]stepSSA, len(iv.Steps))
+	for i, s := range iv.Steps {
+		op := s.Edge.Op
+		switch op.Kind {
+		case cfa.OpAssign:
+			rhs := expr.Rename(op.RHS, func(v string) string { return cur(v, s.ThreadID) })
+			k := key(op.LHS, s.ThreadID)
+			ver[k]++
+			out[i] = stepSSA{def: k + "#" + itoa(ver[k]), rhs: rhs}
+		case cfa.OpAssume:
+			out[i] = stepSSA{pred: expr.Rename(op.Pred, func(v string) string { return cur(v, s.ThreadID) })}
+		case cfa.OpHavoc:
+			k := key(op.LHS, s.ThreadID)
+			ver[k]++
+			out[i] = stepSSA{def: k + "#" + itoa(ver[k])}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package simrel implements CheckSim, the paper's guarantee check: a weak
+// simulation preorder between ACFAs. A simulates G when every behaviour of
+// G — location labels (over the globals), atomicity, and havoc effects —
+// can be matched by A, with G's strong moves answered by A's weak
+// (tau*-Y-tau*) moves whose havoc sets are at least as permissive.
+package simrel
+
+import (
+	"circ/internal/acfa"
+	"circ/internal/smt"
+)
+
+// Simulates reports whether a simulates g (g \preceq a): there is a weak
+// simulation relating g's entry to a's entry.
+func Simulates(g, a *acfa.ACFA, chk *smt.Checker) bool {
+	rel := Relation(g, a, chk)
+	return rel[pairKey(g.Entry, a.Entry)]
+}
+
+// Relation computes the largest weak simulation between g and a as a set
+// of related pairs keyed by pairKey.
+func Relation(g, a *acfa.ACFA, chk *smt.Checker) map[string]bool {
+	ng, na := g.NumLocs(), a.NumLocs()
+	rel := make(map[string]bool)
+	// Initialise with the static conditions: label implication and equal
+	// atomicity.
+	for x := 0; x < ng; x++ {
+		for y := 0; y < na; y++ {
+			if g.IsAtomic(acfa.Loc(x)) != a.IsAtomic(acfa.Loc(y)) {
+				continue
+			}
+			if !chk.Implies(g.Label(acfa.Loc(x)).Formula(), a.Label(acfa.Loc(y)).Formula()) {
+				continue
+			}
+			rel[pairKey(acfa.Loc(x), acfa.Loc(y))] = true
+		}
+	}
+	weakA := acfa.WeakMoves(a)
+	// Greatest fixpoint: drop pairs whose moves cannot be matched.
+	for {
+		changed := false
+		for x := 0; x < ng; x++ {
+			for y := 0; y < na; y++ {
+				key := pairKey(acfa.Loc(x), acfa.Loc(y))
+				if !rel[key] {
+					continue
+				}
+				if !movesMatched(g, acfa.Loc(x), acfa.Loc(y), weakA, rel) {
+					delete(rel, key)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return rel
+		}
+	}
+}
+
+// movesMatched checks that every strong move of g from x is matched by a
+// weak move of a from y landing in a related pair.
+func movesMatched(g *acfa.ACFA, x, y acfa.Loc, weakA [][]acfa.WeakMove, rel map[string]bool) bool {
+	for _, e := range g.OutEdges(x) {
+		matched := false
+		for _, m := range weakA[y] {
+			if !havocCovers(m.Havoc, e.Havoc) {
+				continue
+			}
+			if rel[pairKey(e.Dst, m.Dst)] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// havocCovers reports whether sup (a weak move's havoc, possibly empty for
+// pure tau) covers sub: sub must be a subset of sup, with the pure-tau
+// move covering only empty sub.
+func havocCovers(sup, sub []string) bool {
+	if len(sub) == 0 {
+		return true // a tau move of g is matched by any weak move ending related; prefer tau
+	}
+	if len(sup) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(sup))
+	for _, v := range sup {
+		set[v] = true
+	}
+	for _, v := range sub {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func pairKey(x, y acfa.Loc) string {
+	return itoa(int(x)) + "," + itoa(int(y))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

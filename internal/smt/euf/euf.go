@@ -1,0 +1,203 @@
+// Package euf implements a congruence-closure decision procedure for the
+// theory of equality with uninterpreted functions (EUF). The smt package
+// over-approximates nonlinear arithmetic by treating products as
+// uninterpreted applications; Ackermann expansion covers the common case,
+// and this solver provides the general decision procedure (and a test
+// oracle for the expansion).
+//
+// The implementation is the classic Downey-Sethi-Tarjan / Nelson-Oppen
+// congruence closure: hash-consed term DAG, union-find over equivalence
+// classes, and congruence propagation through parent lists.
+package euf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a hash-consed term: a constant/variable (no Args) or a function
+// application. Terms must be created through a Solver's Var/Const/Apply so
+// that structural sharing holds.
+type Term struct {
+	op   string
+	args []*Term
+	id   int
+}
+
+// Op returns the head symbol.
+func (t *Term) Op() string { return t.op }
+
+// Args returns the argument terms.
+func (t *Term) Args() []*Term { return t.args }
+
+func (t *Term) String() string {
+	if len(t.args) == 0 {
+		return t.op
+	}
+	parts := make([]string, len(t.args))
+	for i, a := range t.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.op, strings.Join(parts, ","))
+}
+
+// Solver decides conjunctions of equalities and disequalities over terms.
+type Solver struct {
+	terms map[string]*Term
+	all   []*Term
+
+	parent  []int // union-find
+	rank    []int
+	parents [][]*Term // class representative -> application terms using it
+
+	diseqs [][2]*Term
+
+	// sigs maps the signature (op + representative ids of args) of every
+	// application to its representative application term.
+	sigs map[string]*Term
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{
+		terms: make(map[string]*Term),
+		sigs:  make(map[string]*Term),
+	}
+}
+
+func termKey(op string, args []*Term) string {
+	var b strings.Builder
+	b.WriteString(op)
+	for _, a := range args {
+		fmt.Fprintf(&b, "/%d", a.id)
+	}
+	return b.String()
+}
+
+// mk hash-conses a term.
+func (s *Solver) mk(op string, args []*Term) *Term {
+	k := termKey(op, args)
+	if t, ok := s.terms[k]; ok {
+		return t
+	}
+	t := &Term{op: op, args: args, id: len(s.all)}
+	s.terms[k] = t
+	s.all = append(s.all, t)
+	s.parent = append(s.parent, t.id)
+	s.rank = append(s.rank, 0)
+	s.parents = append(s.parents, nil)
+	for _, a := range args {
+		r := s.find(a.id)
+		s.parents[r] = append(s.parents[r], t)
+	}
+	// Congruence: an existing application with the same signature is equal.
+	if len(args) > 0 {
+		sig := s.signature(t)
+		if u, ok := s.sigs[sig]; ok {
+			s.merge(t, u)
+		} else {
+			s.sigs[sig] = t
+		}
+	}
+	return t
+}
+
+// Var returns the variable/constant term with the given name.
+func (s *Solver) Var(name string) *Term { return s.mk(name, nil) }
+
+// Apply returns the application op(args...).
+func (s *Solver) Apply(op string, args ...*Term) *Term {
+	return s.mk(op, append([]*Term(nil), args...))
+}
+
+func (s *Solver) find(i int) int {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+func (s *Solver) signature(t *Term) string {
+	var b strings.Builder
+	b.WriteString(t.op)
+	for _, a := range t.args {
+		fmt.Fprintf(&b, "/%d", s.find(a.id))
+	}
+	return b.String()
+}
+
+// merge unions the classes of a and b, propagating congruences.
+func (s *Solver) merge(a, b *Term) {
+	ra, rb := s.find(a.id), s.find(b.id)
+	if ra == rb {
+		return
+	}
+	// Union by rank.
+	if s.rank[ra] < s.rank[rb] {
+		ra, rb = rb, ra
+	}
+	if s.rank[ra] == s.rank[rb] {
+		s.rank[ra]++
+	}
+	// Collect the applications whose signatures change.
+	moved := s.parents[rb]
+	s.parent[rb] = ra
+	s.parents[ra] = append(s.parents[ra], moved...)
+	s.parents[rb] = nil
+	// Re-sign moved parents and the parents of the absorbed class; any
+	// signature collision triggers a recursive merge.
+	var pending [][2]*Term
+	for _, p := range moved {
+		sig := s.signature(p)
+		if u, ok := s.sigs[sig]; ok {
+			if s.find(u.id) != s.find(p.id) {
+				pending = append(pending, [2]*Term{p, u})
+			}
+		} else {
+			s.sigs[sig] = p
+		}
+	}
+	for _, pr := range pending {
+		s.merge(pr[0], pr[1])
+	}
+}
+
+// AssertEq asserts a = b.
+func (s *Solver) AssertEq(a, b *Term) { s.merge(a, b) }
+
+// AssertNe asserts a != b.
+func (s *Solver) AssertNe(a, b *Term) { s.diseqs = append(s.diseqs, [2]*Term{a, b}) }
+
+// Equal reports whether a and b are currently known equal.
+func (s *Solver) Equal(a, b *Term) bool { return s.find(a.id) == s.find(b.id) }
+
+// Check reports whether the asserted constraints are consistent: no
+// disequality joins two terms forced equal.
+func (s *Solver) Check() bool {
+	for _, d := range s.diseqs {
+		if s.find(d[0].id) != s.find(d[1].id) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Classes returns the current equivalence classes (sorted term strings),
+// for debugging and tests.
+func (s *Solver) Classes() [][]string {
+	groups := make(map[int][]string)
+	for _, t := range s.all {
+		r := s.find(t.id)
+		groups[r] = append(groups[r], t.String())
+	}
+	var out [][]string
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,209 @@
+package euf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicEquality(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.Var("a"), s.Var("b"), s.Var("c")
+	s.AssertEq(a, b)
+	s.AssertEq(b, c)
+	if !s.Equal(a, c) {
+		t.Fatalf("transitivity broken")
+	}
+	if !s.Check() {
+		t.Fatalf("consistent set declared inconsistent")
+	}
+	s.AssertNe(a, c)
+	if s.Check() {
+		t.Fatalf("a=b=c with a!=c should be inconsistent")
+	}
+}
+
+func TestCongruence(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	fa := s.Apply("f", a)
+	fb := s.Apply("f", b)
+	if s.Equal(fa, fb) {
+		t.Fatalf("f(a)=f(b) before a=b")
+	}
+	s.AssertEq(a, b)
+	if !s.Equal(fa, fb) {
+		t.Fatalf("congruence not propagated")
+	}
+}
+
+func TestCongruenceChainDeep(t *testing.T) {
+	// The classic: f(f(f(a))) = a and f(f(f(f(f(a))))) = a imply f(a) = a.
+	s := NewSolver()
+	a := s.Var("a")
+	f := func(x *Term) *Term { return s.Apply("f", x) }
+	f3 := f(f(f(a)))
+	f5 := f(f(f(f(f(a)))))
+	s.AssertEq(f3, a)
+	s.AssertEq(f5, a)
+	if !s.Equal(f(a), a) {
+		t.Fatalf("f(a) = a not derived")
+	}
+	s.AssertNe(f(a), a)
+	if s.Check() {
+		t.Fatalf("inconsistency missed")
+	}
+}
+
+func TestBinaryCongruence(t *testing.T) {
+	s := NewSolver()
+	a, b, c, d := s.Var("a"), s.Var("b"), s.Var("c"), s.Var("d")
+	g1 := s.Apply("g", a, b)
+	g2 := s.Apply("g", c, d)
+	s.AssertEq(a, c)
+	if s.Equal(g1, g2) {
+		t.Fatalf("congruence fired with only one arg equal")
+	}
+	s.AssertEq(b, d)
+	if !s.Equal(g1, g2) {
+		t.Fatalf("binary congruence not propagated")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	s := NewSolver()
+	a := s.Var("a")
+	if s.Apply("f", a) != s.Apply("f", a) {
+		t.Fatalf("identical terms not shared")
+	}
+	if s.Var("a") != a {
+		t.Fatalf("variables not shared")
+	}
+}
+
+func TestDisequalityBetweenDistinctClasses(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.AssertNe(a, b)
+	if !s.Check() {
+		t.Fatalf("a != b alone must be consistent")
+	}
+}
+
+func TestCommutedProductsViaSharedRepresentation(t *testing.T) {
+	// The smt package's Ackermann lemmas make x*y = y*x explicit; with raw
+	// EUF, mul(x,y) and mul(y,x) are distinct unless arguments collapse.
+	s := NewSolver()
+	x, y := s.Var("x"), s.Var("y")
+	xy := s.Apply("mul", x, y)
+	yx := s.Apply("mul", y, x)
+	if s.Equal(xy, yx) {
+		t.Fatalf("EUF should not know commutativity")
+	}
+	s.AssertEq(x, y)
+	if !s.Equal(xy, yx) {
+		t.Fatalf("after x=y the products must merge")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.Var("c")
+	s.AssertEq(a, b)
+	cls := s.Classes()
+	if len(cls) != 2 {
+		t.Fatalf("classes = %v", cls)
+	}
+}
+
+// Property: congruence closure agrees with brute-force ground enumeration
+// on random small instances. We generate random equalities over a fixed
+// term universe, close them by brute force, and compare Equal verdicts.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		s := NewSolver()
+		vars := []*Term{s.Var("a"), s.Var("b"), s.Var("c")}
+		univ := append([]*Term(nil), vars...)
+		for _, v := range vars {
+			univ = append(univ, s.Apply("f", v))
+		}
+		for _, v := range vars[:2] {
+			univ = append(univ, s.Apply("f", s.Apply("f", v)))
+		}
+		// Random equalities.
+		type eq struct{ a, b int }
+		var eqs []eq
+		for i := 0; i < 3+rng.Intn(3); i++ {
+			e := eq{rng.Intn(len(univ)), rng.Intn(len(univ))}
+			eqs = append(eqs, e)
+			s.AssertEq(univ[e.a], univ[e.b])
+		}
+		// Brute force: iterate union-find by hand with congruence via
+		// repeated scanning.
+		cls := make([]int, len(univ))
+		for i := range cls {
+			cls[i] = i
+		}
+		var root func(int) int
+		root = func(i int) int {
+			for cls[i] != i {
+				i = cls[i]
+			}
+			return i
+		}
+		union := func(i, j int) {
+			ri, rj := root(i), root(j)
+			if ri != rj {
+				cls[rj] = ri
+			}
+		}
+		for _, e := range eqs {
+			union(e.a, e.b)
+		}
+		// Congruence to fixpoint: f(x) ~ f(y) when x ~ y. We rely on the
+		// universe listing f(v) after v and f(f(v)) after f(v).
+		argOf := map[int]int{3: 0, 4: 1, 5: 2, 6: 3, 7: 4} // index of f-arg
+		for changed := true; changed; {
+			changed = false
+			for i, ai := range argOf {
+				for j, aj := range argOf {
+					if i < j && root(ai) == root(aj) && root(i) != root(j) {
+						union(i, j)
+						changed = true
+					}
+				}
+			}
+		}
+		for i := range univ {
+			for j := range univ {
+				want := root(i) == root(j)
+				got := s.Equal(univ[i], univ[j])
+				if got != want {
+					t.Fatalf("trial %d: Equal(%v,%v) = %t, brute force %t\neqs: %v",
+						trial, univ[i], univ[j], got, want, eqs)
+				}
+			}
+		}
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	s := NewSolver()
+	tm := s.Apply("g", s.Var("a"), s.Apply("f", s.Var("b")))
+	if got := tm.String(); got != "g(a,f(b))" {
+		t.Fatalf("String = %q", got)
+	}
+	if tm.Op() != "g" || len(tm.Args()) != 2 {
+		t.Fatalf("accessors broken")
+	}
+}
+
+func ExampleSolver() {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.AssertEq(a, b)
+	fmt.Println(s.Equal(s.Apply("f", a), s.Apply("f", b)))
+	// Output: true
+}

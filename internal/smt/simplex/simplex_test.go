@@ -1,0 +1,214 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+)
+
+func rat(n int64) *big.Rat { return big.NewRat(n, 1) }
+
+func TestTrivialFeasible(t *testing.T) {
+	tb := New()
+	x := tb.NewVar(true)
+	if !tb.AssertLower(x, rat(3)) || !tb.AssertUpper(x, rat(5)) {
+		t.Fatalf("bounds rejected")
+	}
+	if got := tb.Check(0); got != Feasible {
+		t.Fatalf("got %v, want feasible", got)
+	}
+	v := tb.Value(x)
+	if v.Cmp(rat(3)) < 0 || v.Cmp(rat(5)) > 0 {
+		t.Fatalf("value %v out of [3,5]", v)
+	}
+}
+
+func TestContradictoryBounds(t *testing.T) {
+	tb := New()
+	x := tb.NewVar(true)
+	if !tb.AssertLower(x, rat(5)) {
+		t.Fatalf("lower rejected")
+	}
+	if tb.AssertUpper(x, rat(3)) {
+		t.Fatalf("contradictory upper accepted")
+	}
+}
+
+func TestSlackSystemFeasible(t *testing.T) {
+	// x + y <= 10, x - y <= 2, x >= 3, y >= 1.
+	tb := New()
+	x := tb.NewVar(true)
+	y := tb.NewVar(true)
+	s1 := tb.NewSlack(map[int]*big.Rat{x: rat(1), y: rat(1)}, true)
+	s2 := tb.NewSlack(map[int]*big.Rat{x: rat(1), y: rat(-1)}, true)
+	tb.AssertUpper(s1, rat(10))
+	tb.AssertUpper(s2, rat(2))
+	tb.AssertLower(x, rat(3))
+	tb.AssertLower(y, rat(1))
+	if got := tb.Check(0); got != Feasible {
+		t.Fatalf("got %v, want feasible", got)
+	}
+	xv, yv := tb.Value(x), tb.Value(y)
+	sum := new(big.Rat).Add(xv, yv)
+	diff := new(big.Rat).Sub(xv, yv)
+	if sum.Cmp(rat(10)) > 0 || diff.Cmp(rat(2)) > 0 || xv.Cmp(rat(3)) < 0 || yv.Cmp(rat(1)) < 0 {
+		t.Fatalf("model x=%v y=%v violates constraints", xv, yv)
+	}
+}
+
+func TestSlackSystemInfeasible(t *testing.T) {
+	// x + y <= 4, x >= 3, y >= 3.
+	tb := New()
+	x := tb.NewVar(true)
+	y := tb.NewVar(true)
+	s := tb.NewSlack(map[int]*big.Rat{x: rat(1), y: rat(1)}, true)
+	tb.AssertUpper(s, rat(4))
+	tb.AssertLower(x, rat(3))
+	tb.AssertLower(y, rat(3))
+	if got := tb.Check(0); got != Infeasible {
+		t.Fatalf("got %v, want infeasible", got)
+	}
+}
+
+func TestEqualityChain(t *testing.T) {
+	// x = y, y = z, x = 7 => z = 7.
+	tb := New()
+	x := tb.NewVar(true)
+	y := tb.NewVar(true)
+	z := tb.NewVar(true)
+	xy := tb.NewSlack(map[int]*big.Rat{x: rat(1), y: rat(-1)}, true)
+	yz := tb.NewSlack(map[int]*big.Rat{y: rat(1), z: rat(-1)}, true)
+	for _, s := range []int{xy, yz} {
+		tb.AssertLower(s, rat(0))
+		tb.AssertUpper(s, rat(0))
+	}
+	tb.AssertLower(x, rat(7))
+	tb.AssertUpper(x, rat(7))
+	if got := tb.Check(0); got != Feasible {
+		t.Fatalf("got %v, want feasible", got)
+	}
+	if tb.Value(z).Cmp(rat(7)) != 0 {
+		t.Fatalf("z = %v, want 7", tb.Value(z))
+	}
+}
+
+func TestIntegerBranchAndBound(t *testing.T) {
+	// 2x = 3 has a rational solution but no integer one.
+	tb := New()
+	x := tb.NewVar(true)
+	s := tb.NewSlack(map[int]*big.Rat{x: rat(2)}, true)
+	tb.AssertLower(s, rat(3))
+	tb.AssertUpper(s, rat(3))
+	if got := tb.Check(0); got != Feasible {
+		t.Fatalf("rational relaxation: got %v, want feasible", got)
+	}
+	tb2 := New()
+	x2 := tb2.NewVar(true)
+	s2 := tb2.NewSlack(map[int]*big.Rat{x2: rat(2)}, true)
+	tb2.AssertLower(s2, rat(3))
+	tb2.AssertUpper(s2, rat(3))
+	if got := tb2.CheckInt(0, 100); got != Infeasible {
+		t.Fatalf("integer: got %v, want infeasible", got)
+	}
+}
+
+func TestIntegerFeasibleAfterBranching(t *testing.T) {
+	// 2x + 2y = 6 with x,y in [0,3]: integer solutions exist.
+	tb := New()
+	x := tb.NewVar(true)
+	y := tb.NewVar(true)
+	s := tb.NewSlack(map[int]*big.Rat{x: rat(2), y: rat(2)}, true)
+	tb.AssertLower(s, rat(6))
+	tb.AssertUpper(s, rat(6))
+	tb.AssertLower(x, rat(0))
+	tb.AssertUpper(x, rat(3))
+	tb.AssertLower(y, rat(0))
+	tb.AssertUpper(y, rat(3))
+	if got := tb.CheckInt(0, 100); got != Feasible {
+		t.Fatalf("got %v, want feasible", got)
+	}
+	if !tb.Value(x).IsInt() || !tb.Value(y).IsInt() {
+		t.Fatalf("non-integral model x=%v y=%v", tb.Value(x), tb.Value(y))
+	}
+}
+
+func TestRatFloor(t *testing.T) {
+	cases := []struct {
+		num, den, want int64
+	}{
+		{7, 2, 3}, {-7, 2, -4}, {6, 2, 3}, {-6, 2, -3}, {0, 1, 0}, {1, 3, 0}, {-1, 3, -1},
+	}
+	for _, c := range cases {
+		got := ratFloor(big.NewRat(c.num, c.den))
+		if got.Cmp(rat(c.want)) != 0 {
+			t.Errorf("floor(%d/%d) = %v, want %d", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestManyPivots(t *testing.T) {
+	// A chain x1 <= x2 <= ... <= xn with x1 >= 0, xn <= 0 forces all zero.
+	tb := New()
+	n := 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = tb.NewVar(true)
+	}
+	for i := 0; i+1 < n; i++ {
+		s := tb.NewSlack(map[int]*big.Rat{vars[i]: rat(1), vars[i+1]: rat(-1)}, true)
+		tb.AssertUpper(s, rat(0))
+	}
+	tb.AssertLower(vars[0], rat(0))
+	tb.AssertUpper(vars[n-1], rat(0))
+	if got := tb.Check(0); got != Feasible {
+		t.Fatalf("got %v, want feasible", got)
+	}
+	for i, v := range vars {
+		if tb.Value(v).Sign() != 0 {
+			t.Fatalf("x%d = %v, want 0", i, tb.Value(v))
+		}
+	}
+	// Now force x0 >= 1: infeasible.
+	if tb.AssertLower(vars[0], rat(1)) {
+		if got := tb.Check(0); got != Infeasible {
+			t.Fatalf("after x0>=1: got %v, want infeasible", got)
+		}
+	}
+}
+
+func BenchmarkChainPivots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := New()
+		n := 30
+		vars := make([]int, n)
+		for j := range vars {
+			vars[j] = tb.NewVar(true)
+		}
+		for j := 0; j+1 < n; j++ {
+			s := tb.NewSlack(map[int]*big.Rat{vars[j]: rat(1), vars[j+1]: rat(-1)}, true)
+			tb.AssertUpper(s, rat(0))
+		}
+		tb.AssertLower(vars[0], rat(0))
+		tb.AssertUpper(vars[n-1], rat(0))
+		if tb.Check(0) != Feasible {
+			b.Fatal("expected feasible")
+		}
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := New()
+		x := tb.NewVar(true)
+		y := tb.NewVar(true)
+		s := tb.NewSlack(map[int]*big.Rat{x: rat(2), y: rat(2)}, true)
+		tb.AssertLower(s, rat(7))
+		tb.AssertUpper(s, rat(7))
+		tb.AssertLower(x, rat(0))
+		tb.AssertUpper(x, rat(10))
+		tb.AssertLower(y, rat(0))
+		tb.AssertUpper(y, rat(10))
+		if tb.CheckInt(0, 200) != Infeasible {
+			b.Fatal("2x+2y=7 has no integer solution")
+		}
+	}
+}

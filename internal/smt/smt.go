@@ -1,0 +1,574 @@
+// Package smt implements a lazy DPLL(T) decision procedure for
+// quantifier-free formulas over linear integer arithmetic, built from the
+// CDCL SAT solver in smt/sat and the simplex core in smt/simplex.
+//
+// Nonlinear products are soundly over-approximated by abstracting them as
+// fresh integer variables with Ackermann functional-consistency lemmas.
+// Strict comparisons are strengthened to non-strict ones (all variables are
+// integers), so the theory solver only deals with <=-bounds plus equality
+// case splits for disequalities.
+//
+// The package-level entry points (Sat, Valid, Implies, UnsatCore, ...) are
+// methods on Checker, which memoises results by formula key; predicate
+// abstraction issues many repeated implication queries and the cache is the
+// difference between seconds and minutes on the evaluation suite.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"circ/internal/expr"
+	"circ/internal/smt/sat"
+	"circ/internal/smt/simplex"
+)
+
+// Result is a three-valued satisfiability verdict.
+type Result int
+
+// Verdicts.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats counts solver work, for the benchmark harness.
+type Stats struct {
+	Queries      int64 // top-level Sat queries (cache misses)
+	CacheHits    int64
+	TheoryChecks int64
+	SatConflicts int64
+}
+
+// Checker is a memoising SMT front door. The zero value is not usable;
+// call NewChecker. A Checker is not safe for concurrent use.
+type Checker struct {
+	cache map[string]Result
+	// Budgets; zero selects a sensible default.
+	MaxPivots int // simplex pivots per theory check
+	MaxNodes  int // branch-and-bound nodes per theory check
+	MaxLoops  int // lazy-loop iterations per query
+	Stats     Stats
+}
+
+// NewChecker returns a Checker with default budgets.
+func NewChecker() *Checker {
+	return &Checker{
+		cache:     make(map[string]Result),
+		MaxPivots: 200000,
+		MaxNodes:  400,
+		MaxLoops:  20000,
+	}
+}
+
+// Sat reports the satisfiability of formula f.
+func (c *Checker) Sat(f expr.Expr) Result {
+	f = expr.Simplify(f)
+	key := f.Key()
+	if r, ok := c.cache[key]; ok {
+		c.Stats.CacheHits++
+		return r
+	}
+	r, _ := c.solve(f, false)
+	c.cache[key] = r
+	return r
+}
+
+// SatModel reports satisfiability and, when Sat, an integer model.
+func (c *Checker) SatModel(f expr.Expr) (Result, map[string]int64) {
+	f = expr.Simplify(f)
+	r, m := c.solve(f, true)
+	c.cache[f.Key()] = r
+	return r, m
+}
+
+// Valid reports whether f is valid. Unknown degrades to false ("cannot
+// prove"), which is the sound direction for abstraction.
+func (c *Checker) Valid(f expr.Expr) bool {
+	return c.Sat(expr.Negate(f)) == Unsat
+}
+
+// Implies reports whether a entails b.
+func (c *Checker) Implies(a, b expr.Expr) bool {
+	return c.Sat(expr.Conj(a, expr.Negate(b))) == Unsat
+}
+
+// Equivalent reports whether a and b are logically equivalent.
+func (c *Checker) Equivalent(a, b expr.Expr) bool {
+	return c.Implies(a, b) && c.Implies(b, a)
+}
+
+// UnsatCore returns the indices of a minimal (irreducible) subset of parts
+// whose conjunction is unsatisfiable. ok is false when the conjunction is
+// satisfiable or unknown.
+func (c *Checker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
+	all := make([]int, len(parts))
+	for i := range parts {
+		all[i] = i
+	}
+	conj := func(idx []int) expr.Expr {
+		fs := make([]expr.Expr, len(idx))
+		for i, j := range idx {
+			fs[i] = parts[j]
+		}
+		return expr.Conj(fs...)
+	}
+	if c.Sat(conj(all)) != Unsat {
+		return nil, false
+	}
+	// Deletion-based minimisation.
+	cur := all
+	for i := 0; i < len(cur); {
+		trial := make([]int, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		if c.Sat(conj(trial)) == Unsat {
+			cur = trial
+		} else {
+			i++
+		}
+	}
+	return cur, true
+}
+
+// --- query encoding ---
+
+// tAtom is a canonical theory atom: Σ Coeffs·v  (<= | ==)  RHS.
+type tAtom struct {
+	coeffs map[string]int64
+	rhs    int64
+	eq     bool
+	key    string
+}
+
+func atomKey(coeffs map[string]int64, rhs int64, eq bool) string {
+	names := make([]string, 0, len(coeffs))
+	for n := range coeffs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	if eq {
+		b.WriteString("eq:")
+	} else {
+		b.WriteString("le:")
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "%d*%s+", coeffs[n], n)
+	}
+	fmt.Fprintf(&b, "%d", rhs)
+	return b.String()
+}
+
+type query struct {
+	chk    *Checker
+	solver *sat.Solver
+	atoms  []*tAtom           // indexed by atom id
+	atomID map[string]int     // atom key -> id
+	atomV  map[int]int        // atom id -> sat var
+	enc    map[string]sat.Lit // Tseitin memo by expr key
+	nlName map[string]string  // nonlinear subterm key -> fresh var name
+	nlList []expr.Expr        // abstracted products, for Ackermann lemmas
+}
+
+func (c *Checker) newQuery() *query {
+	return &query{
+		chk:    c,
+		solver: sat.New(),
+		atomID: make(map[string]int),
+		atomV:  make(map[int]int),
+		enc:    make(map[string]sat.Lit),
+		nlName: make(map[string]string),
+	}
+}
+
+func (q *query) abstractNonlinear(e expr.Expr) string {
+	k := e.Key()
+	if n, ok := q.nlName[k]; ok {
+		return n
+	}
+	n := fmt.Sprintf("$nl%d", len(q.nlName))
+	q.nlName[k] = n
+	q.nlList = append(q.nlList, e)
+	return n
+}
+
+// atomLit canonicalises a comparison into a theory atom and returns the SAT
+// literal representing it (possibly negated relative to the stored atom).
+func (q *query) atomLit(cmp expr.Cmp) (sat.Lit, error) {
+	lin, op, err := expr.NormalizeAtom(cmp, q.abstractNonlinear)
+	if err != nil {
+		return 0, err
+	}
+	if lin.IsConst() {
+		// Constant atom: encode as a forced fresh variable.
+		truth := expr.Simplify(expr.Compare(op, expr.Num(lin.Const), expr.Num(0)))
+		v := q.solver.NewVar()
+		b, _ := truth.(expr.Bool)
+		q.solver.AddClause(sat.MkLit(v, !b.Value))
+		return sat.MkLit(v, false), nil
+	}
+	coeffs := lin.Coeffs
+	neg := false
+	var rhs int64
+	var eq bool
+	switch op {
+	case expr.OpEq:
+		eq, rhs = true, -lin.Const
+	case expr.OpNe:
+		eq, rhs, neg = true, -lin.Const, true
+	case expr.OpLe:
+		rhs = -lin.Const
+	case expr.OpLt:
+		rhs = -lin.Const - 1
+	case expr.OpGe:
+		coeffs = negateCoeffs(coeffs)
+		rhs = lin.Const
+	case expr.OpGt:
+		coeffs = negateCoeffs(coeffs)
+		rhs = lin.Const - 1
+	}
+	key := atomKey(coeffs, rhs, eq)
+	id, ok := q.atomID[key]
+	if !ok {
+		id = len(q.atoms)
+		q.atoms = append(q.atoms, &tAtom{coeffs: coeffs, rhs: rhs, eq: eq, key: key})
+		q.atomID[key] = id
+		q.atomV[id] = q.solver.NewVar()
+	}
+	return sat.MkLit(q.atomV[id], neg), nil
+}
+
+func negateCoeffs(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = -v
+	}
+	return out
+}
+
+// encode Tseitin-encodes formula e and returns its literal.
+func (q *query) encode(e expr.Expr) (sat.Lit, error) {
+	key := e.Key()
+	if l, ok := q.enc[key]; ok {
+		return l, nil
+	}
+	var lit sat.Lit
+	switch g := e.(type) {
+	case expr.Bool:
+		v := q.solver.NewVar()
+		q.solver.AddClause(sat.MkLit(v, !g.Value))
+		lit = sat.MkLit(v, false)
+	case expr.Cmp:
+		l, err := q.atomLit(g)
+		if err != nil {
+			return 0, err
+		}
+		lit = l
+	case expr.Not:
+		l, err := q.encode(g.X)
+		if err != nil {
+			return 0, err
+		}
+		lit = l.Not()
+	case expr.And:
+		v := q.solver.NewVar()
+		lv := sat.MkLit(v, false)
+		long := []sat.Lit{lv}
+		for _, x := range g.Xs {
+			lx, err := q.encode(x)
+			if err != nil {
+				return 0, err
+			}
+			q.solver.AddClause(lv.Not(), lx)
+			long = append(long, lx.Not())
+		}
+		q.solver.AddClause(long...)
+		lit = lv
+	case expr.Or:
+		v := q.solver.NewVar()
+		lv := sat.MkLit(v, false)
+		long := []sat.Lit{lv.Not()}
+		for _, x := range g.Xs {
+			lx, err := q.encode(x)
+			if err != nil {
+				return 0, err
+			}
+			q.solver.AddClause(lv, lx.Not())
+			long = append(long, lx)
+		}
+		q.solver.AddClause(long...)
+		lit = lv
+	default:
+		return 0, fmt.Errorf("smt: cannot encode %T as formula", e)
+	}
+	q.enc[key] = lit
+	return lit, nil
+}
+
+// ackermannLemmas returns functional-consistency lemmas for the abstracted
+// nonlinear products: equal arguments imply equal results (including the
+// commuted case for multiplication).
+func (q *query) ackermannLemmas() []expr.Expr {
+	var lemmas []expr.Expr
+	for i := 0; i < len(q.nlList); i++ {
+		bi := q.nlList[i].(expr.Bin)
+		vi := expr.V(q.nlName[q.nlList[i].Key()])
+		for j := i + 1; j < len(q.nlList); j++ {
+			bj := q.nlList[j].(expr.Bin)
+			vj := expr.V(q.nlName[q.nlList[j].Key()])
+			same := expr.Conj(expr.Eq(bi.X, bj.X), expr.Eq(bi.Y, bj.Y))
+			lemmas = append(lemmas, expr.Implies(same, expr.Eq(vi, vj)))
+			commuted := expr.Conj(expr.Eq(bi.X, bj.Y), expr.Eq(bi.Y, bj.X))
+			lemmas = append(lemmas, expr.Implies(commuted, expr.Eq(vi, vj)))
+		}
+	}
+	return lemmas
+}
+
+// solve runs the lazy DPLL(T) loop.
+func (c *Checker) solve(f expr.Expr, wantModel bool) (Result, map[string]int64) {
+	c.Stats.Queries++
+	switch g := f.(type) {
+	case expr.Bool:
+		if g.Value {
+			return Sat, map[string]int64{}
+		}
+		return Unsat, nil
+	}
+	q := c.newQuery()
+	root, err := q.encode(f)
+	if err != nil {
+		return Unknown, nil
+	}
+	if !q.solver.AddClause(root) {
+		return Unsat, nil
+	}
+	// Ackermann lemmas reference abstraction names created during the first
+	// encode; encoding them may abstract further products, so iterate.
+	done := 0
+	for done < len(q.nlList) {
+		lemmas := q.ackermannLemmas()
+		done = len(q.nlList)
+		for _, lem := range lemmas {
+			ll, err := q.encode(expr.Simplify(lem))
+			if err != nil {
+				return Unknown, nil
+			}
+			if !q.solver.AddClause(ll) {
+				return Unsat, nil
+			}
+		}
+	}
+
+	for iter := 0; iter < c.MaxLoops; iter++ {
+		switch q.solver.Solve() {
+		case sat.Unsat:
+			return Unsat, nil
+		case sat.Unknown:
+			return Unknown, nil
+		}
+		model := q.solver.Model()
+		// Gather asserted theory literals.
+		lits := make([]assertedAtom, 0, len(q.atoms))
+		for id, a := range q.atoms {
+			v := q.atomV[id]
+			lits = append(lits, assertedAtom{a: a, pos: model[v]})
+		}
+		res, vals := c.theoryCheck(lits)
+		switch res {
+		case simplex.Feasible:
+			if wantModel {
+				return Sat, vals
+			}
+			return Sat, nil
+		case simplex.Unknown:
+			return Unknown, nil
+		}
+		// Infeasible: minimise the conflicting literal set, then block it.
+		conflict := c.minimizeConflict(lits)
+		block := make([]sat.Lit, 0, len(conflict))
+		for _, tl := range conflict {
+			v := q.atomV[q.atomID[tl.a.key]]
+			block = append(block, sat.MkLit(v, tl.pos)) // negated literal
+		}
+		if !q.solver.AddClause(block...) {
+			return Unsat, nil
+		}
+	}
+	return Unknown, nil
+}
+
+type assertedAtom struct {
+	a   *tAtom
+	pos bool
+}
+
+// minimizeConflict greedily deletes literals while the set stays
+// theory-infeasible, yielding an irreducible conflict.
+func (c *Checker) minimizeConflict(lits []assertedAtom) []assertedAtom {
+	cur := lits
+	for i := 0; i < len(cur); {
+		trial := make([]assertedAtom, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		res, _ := c.theoryCheck(trial)
+		if res == simplex.Infeasible {
+			cur = trial
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// theoryCheck decides the conjunction of asserted atoms over the integers.
+// On feasibility it returns an integer model for the structural variables.
+func (c *Checker) theoryCheck(lits []assertedAtom) (simplex.Result, map[string]int64) {
+	c.Stats.TheoryChecks++
+	type diseq struct {
+		slack int
+		rhs   *big.Rat
+	}
+	build := func(extra []func(t *simplex.Tableau, vars map[string]int, slacks map[string]int) bool) (simplex.Result, *simplex.Tableau, map[string]int, []diseq) {
+		t := simplex.New()
+		vars := make(map[string]int)
+		slacks := make(map[string]int)
+		getVar := func(n string) int {
+			if i, ok := vars[n]; ok {
+				return i
+			}
+			i := t.NewVar(true)
+			vars[n] = i
+			return i
+		}
+		getSlack := func(a *tAtom) int {
+			ck := coeffKey(a.coeffs)
+			if s, ok := slacks[ck]; ok {
+				return s
+			}
+			cs := make(map[int]*big.Rat, len(a.coeffs))
+			for n, cv := range a.coeffs {
+				cs[getVar(n)] = new(big.Rat).SetInt64(cv)
+			}
+			s := t.NewSlack(cs, true)
+			slacks[ck] = s
+			return s
+		}
+		var diseqs []diseq
+		for _, l := range lits {
+			s := getSlack(l.a)
+			rhs := new(big.Rat).SetInt64(l.a.rhs)
+			switch {
+			case l.a.eq && l.pos:
+				if !t.AssertUpper(s, rhs) || !t.AssertLower(s, rhs) {
+					return simplex.Infeasible, nil, nil, nil
+				}
+			case l.a.eq && !l.pos:
+				diseqs = append(diseqs, diseq{slack: s, rhs: rhs})
+			case !l.a.eq && l.pos:
+				if !t.AssertUpper(s, rhs) {
+					return simplex.Infeasible, nil, nil, nil
+				}
+			default: // ¬(Σ ≤ rhs)  ⇔  Σ ≥ rhs+1
+				lb := new(big.Rat).Add(rhs, big.NewRat(1, 1))
+				if !t.AssertLower(s, lb) {
+					return simplex.Infeasible, nil, nil, nil
+				}
+			}
+		}
+		for _, fn := range extra {
+			if !fn(t, vars, slacks) {
+				return simplex.Infeasible, nil, nil, nil
+			}
+		}
+		return simplex.Unknown, t, vars, diseqs
+	}
+
+	// Recursive search over disequality case splits. extraBounds carries
+	// the split decisions as closures applied at build time.
+	var rec func(extra []func(t *simplex.Tableau, vars map[string]int, slacks map[string]int) bool, depth int) (simplex.Result, map[string]int64)
+	rec = func(extra []func(t *simplex.Tableau, vars map[string]int, slacks map[string]int) bool, depth int) (simplex.Result, map[string]int64) {
+		if depth > 64 {
+			return simplex.Unknown, nil
+		}
+		early, t, vars, diseqs := build(extra)
+		if early == simplex.Infeasible {
+			return simplex.Infeasible, nil
+		}
+		res := t.CheckInt(c.MaxPivots, c.MaxNodes)
+		if res != simplex.Feasible {
+			return res, nil
+		}
+		// Check disequalities against the model.
+		for _, d := range diseqs {
+			if t.Value(d.slack).Cmp(d.rhs) == 0 {
+				// Violated: split into < and >.
+				slackCoeffs := d.slack
+				rhs := d.rhs
+				lo := func(tt *simplex.Tableau, _ map[string]int, _ map[string]int) bool {
+					up := new(big.Rat).Sub(rhs, big.NewRat(1, 1))
+					return tt.AssertUpper(slackVarIn(tt, slackCoeffs), up)
+				}
+				hi := func(tt *simplex.Tableau, _ map[string]int, _ map[string]int) bool {
+					lb := new(big.Rat).Add(rhs, big.NewRat(1, 1))
+					return tt.AssertLower(slackVarIn(tt, slackCoeffs), lb)
+				}
+				r1, m1 := rec(append(append([]func(*simplex.Tableau, map[string]int, map[string]int) bool{}, extra...), lo), depth+1)
+				if r1 == simplex.Feasible {
+					return r1, m1
+				}
+				r2, m2 := rec(append(append([]func(*simplex.Tableau, map[string]int, map[string]int) bool{}, extra...), hi), depth+1)
+				if r2 == simplex.Feasible {
+					return r2, m2
+				}
+				if r1 == simplex.Unknown || r2 == simplex.Unknown {
+					return simplex.Unknown, nil
+				}
+				return simplex.Infeasible, nil
+			}
+		}
+		// Feasible and all disequalities hold: extract the model.
+		m := make(map[string]int64, len(vars))
+		for n, i := range vars {
+			v := t.Value(i)
+			if !v.IsInt() {
+				return simplex.Unknown, nil
+			}
+			m[n] = v.Num().Int64()
+		}
+		return simplex.Feasible, m
+	}
+	return rec(nil, 0)
+}
+
+// slackVarIn exists because split closures capture slack indices created in
+// a previous tableau; slack variable indices are deterministic given the
+// same build order, so the captured index is valid in the rebuilt tableau.
+func slackVarIn(_ *simplex.Tableau, idx int) int { return idx }
+
+func coeffKey(m map[string]int64) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%d*%s+", m[n], n)
+	}
+	return b.String()
+}

@@ -1,0 +1,318 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"circ/internal/expr"
+)
+
+func TestBasicSat(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	cases := []struct {
+		f    expr.Expr
+		want Result
+	}{
+		{expr.TrueExpr, Sat},
+		{expr.FalseExpr, Unsat},
+		{expr.Eq(x, expr.Num(3)), Sat},
+		{expr.Conj(expr.Eq(x, expr.Num(3)), expr.Eq(x, expr.Num(4))), Unsat},
+		{expr.Conj(expr.Lt(x, y), expr.Lt(y, x)), Unsat},
+		{expr.Conj(expr.Le(x, y), expr.Le(y, x), expr.Ne(x, y)), Unsat},
+		{expr.Conj(expr.Le(x, y), expr.Le(y, x), expr.Eq(x, y)), Sat},
+		{expr.Conj(expr.Lt(x, y), expr.Lt(y, expr.Add(x, expr.Num(1)))), Unsat}, // integer gap
+		{expr.Disj(expr.Eq(x, expr.Num(0)), expr.Eq(x, expr.Num(1))), Sat},
+		{expr.Conj(expr.Ne(x, expr.Num(0)), expr.Ne(x, expr.Num(1)), expr.Ge(x, expr.Num(0)), expr.Le(x, expr.Num(1))), Unsat},
+		{expr.Conj(expr.Eq(expr.Add(x, y), expr.Num(10)), expr.Eq(expr.Sub(x, y), expr.Num(4))), Sat},
+		{expr.Conj(expr.Eq(expr.Mul(expr.Num(2), x), expr.Num(3))), Unsat}, // parity
+	}
+	for i, tc := range cases {
+		if got := c.Sat(tc.f); got != tc.want {
+			t.Errorf("case %d: Sat(%s) = %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestValidAndImplies(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	if !c.Valid(expr.Disj(expr.Le(x, y), expr.Gt(x, y))) {
+		t.Errorf("x<=y || x>y should be valid")
+	}
+	if c.Valid(expr.Le(x, y)) {
+		t.Errorf("x<=y should not be valid")
+	}
+	if !c.Implies(expr.Eq(x, expr.Num(3)), expr.Gt(x, expr.Num(2))) {
+		t.Errorf("x=3 should imply x>2")
+	}
+	if c.Implies(expr.Gt(x, expr.Num(2)), expr.Eq(x, expr.Num(3))) {
+		t.Errorf("x>2 should not imply x=3")
+	}
+	// Transitivity with three variables.
+	z := expr.V("z")
+	if !c.Implies(expr.Conj(expr.Le(x, y), expr.Le(y, z)), expr.Le(x, z)) {
+		t.Errorf("transitivity failed")
+	}
+}
+
+func TestModelIsCorrect(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	f := expr.Conj(
+		expr.Eq(expr.Add(x, y), expr.Num(10)),
+		expr.Eq(expr.Sub(x, y), expr.Num(4)),
+	)
+	r, m := c.SatModel(f)
+	if r != Sat {
+		t.Fatalf("got %v, want sat", r)
+	}
+	ok, err := expr.EvalFormula(f, m)
+	if err != nil || !ok {
+		t.Fatalf("model %v does not satisfy %s (err=%v)", m, f, err)
+	}
+	if m["x"] != 7 || m["y"] != 3 {
+		t.Fatalf("model %v, want x=7 y=3", m)
+	}
+}
+
+func TestNonlinearAckermann(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	// x*y abstracted: x*y != y*x must be unsat by the commuted lemma.
+	f := expr.Ne(expr.Mul(x, y), expr.Mul(y, x))
+	if got := c.Sat(f); got != Unsat {
+		t.Errorf("x*y != y*x: got %v, want unsat", got)
+	}
+	// x*y = 6 is satisfiable in the abstraction (over-approximation).
+	if got := c.Sat(expr.Eq(expr.Mul(x, y), expr.Num(6))); got != Sat {
+		t.Errorf("x*y = 6: got %v, want sat", got)
+	}
+}
+
+func TestUnsatCoreMinimal(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	parts := []expr.Expr{
+		expr.Le(x, expr.Num(5)), // 0 (irrelevant)
+		expr.Eq(y, expr.Num(2)), // 1
+		expr.Gt(y, expr.Num(7)), // 2
+		expr.Ge(x, expr.Num(0)), // 3 (irrelevant)
+	}
+	core, ok := c.UnsatCore(parts)
+	if !ok {
+		t.Fatalf("expected unsat")
+	}
+	if len(core) != 2 || core[0] != 1 || core[1] != 2 {
+		t.Fatalf("core = %v, want [1 2]", core)
+	}
+}
+
+func TestUnsatCoreSatInput(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	if _, ok := c.UnsatCore([]expr.Expr{expr.Le(x, expr.Num(5))}); ok {
+		t.Fatalf("satisfiable input reported a core")
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	c := NewChecker()
+	f := expr.Eq(expr.V("x"), expr.Num(1))
+	c.Sat(f)
+	before := c.Stats.CacheHits
+	c.Sat(f)
+	if c.Stats.CacheHits != before+1 {
+		t.Fatalf("second identical query did not hit the cache")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	a := expr.Ge(x, expr.Num(1))
+	b := expr.Gt(x, expr.Num(0))
+	if !c.Equivalent(a, b) {
+		t.Errorf("x>=1 and x>0 should be equivalent over integers")
+	}
+	if c.Equivalent(a, expr.Gt(x, expr.Num(1))) {
+		t.Errorf("x>=1 and x>1 should differ")
+	}
+}
+
+// Property: for random small conjunctions of bound constraints, the solver
+// agrees with brute-force enumeration over a small box.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	c := NewChecker()
+	type bounds struct {
+		Lo1, Hi1, Lo2, Hi2 int8
+		SumLe              int8
+	}
+	f := func(b bounds) bool {
+		x := expr.V("x")
+		y := expr.V("y")
+		form := expr.Conj(
+			expr.Ge(x, expr.Num(int64(b.Lo1))), expr.Le(x, expr.Num(int64(b.Hi1))),
+			expr.Ge(y, expr.Num(int64(b.Lo2))), expr.Le(y, expr.Num(int64(b.Hi2))),
+			expr.Le(expr.Add(x, y), expr.Num(int64(b.SumLe))),
+		)
+		want := false
+		for xv := int64(b.Lo1); xv <= int64(b.Hi1); xv++ {
+			for yv := int64(b.Lo2); yv <= int64(b.Hi2); yv++ {
+				if xv+yv <= int64(b.SumLe) {
+					want = true
+				}
+			}
+		}
+		got := c.Sat(form) == Sat
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisequalitySplitDeep(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	// x in [0,4] and x != 0..4 simultaneously: unsat after 5 splits.
+	conj := []expr.Expr{expr.Ge(x, expr.Num(0)), expr.Le(x, expr.Num(4))}
+	for i := int64(0); i <= 4; i++ {
+		conj = append(conj, expr.Ne(x, expr.Num(i)))
+	}
+	if got := c.Sat(expr.Conj(conj...)); got != Unsat {
+		t.Errorf("got %v, want unsat", got)
+	}
+	// Remove one disequality: satisfiable.
+	if got := c.Sat(expr.Conj(conj[:len(conj)-1]...)); got != Sat {
+		t.Errorf("got %v, want sat", got)
+	}
+}
+
+func TestNegativeCoefficientsAndConstants(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	cases := []struct {
+		f    expr.Expr
+		want Result
+	}{
+		// -2x + 3y = 7, x = -2  =>  y = 1: satisfiable.
+		{expr.Conj(
+			expr.Eq(expr.Add(expr.Mul(expr.Num(-2), x), expr.Mul(expr.Num(3), y)), expr.Num(7)),
+			expr.Eq(x, expr.Num(-2)),
+		), Sat},
+		// x <= -5 and x >= -3: unsat.
+		{expr.Conj(expr.Le(x, expr.Num(-5)), expr.Ge(x, expr.Num(-3))), Unsat},
+		// 3x = -6 has integer solution x = -2.
+		{expr.Eq(expr.Mul(expr.Num(3), x), expr.Num(-6)), Sat},
+		// 3x = -7 has no integer solution.
+		{expr.Eq(expr.Mul(expr.Num(3), x), expr.Num(-7)), Unsat},
+	}
+	for i, tc := range cases {
+		if got := c.Sat(tc.f); got != tc.want {
+			t.Errorf("case %d: Sat(%s) = %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestSubtermSharingAcrossPolarity(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	// (x <= 3 || x > 3) && (x <= 3 || x >= 10): satisfiable.
+	f := expr.Conj(
+		expr.Disj(expr.Le(x, expr.Num(3)), expr.Gt(x, expr.Num(3))),
+		expr.Disj(expr.Le(x, expr.Num(3)), expr.Ge(x, expr.Num(10))),
+	)
+	if got := c.Sat(f); got != Sat {
+		t.Errorf("got %v, want sat", got)
+	}
+}
+
+func TestBigConstants(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	f := expr.Conj(
+		expr.Ge(x, expr.Num(1000000)),
+		expr.Le(x, expr.Num(1000001)),
+		expr.Ne(x, expr.Num(1000000)),
+		expr.Ne(x, expr.Num(1000001)),
+	)
+	if got := c.Sat(f); got != Unsat {
+		t.Errorf("got %v, want unsat", got)
+	}
+}
+
+func TestDeeplyNestedBoolean(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	// Build ((x=0 || x=1) && (x=1 || x=2) && ... chain): only overlaps sat.
+	var conj []expr.Expr
+	for i := int64(0); i < 8; i++ {
+		conj = append(conj, expr.Disj(expr.Eq(x, expr.Num(i)), expr.Eq(x, expr.Num(i+1))))
+	}
+	if got := c.Sat(expr.Conj(conj...)); got != Unsat {
+		// x must equal i or i+1 for every i in 0..7 simultaneously:
+		// impossible since x=k fails clause (k+1, k+2) when k+1 > ... check:
+		// x must be in {i, i+1} for all i: intersection over i of {i,i+1}
+		// is empty for 8 clauses.
+		t.Errorf("got %v, want unsat", got)
+	}
+	conj = conj[:2] // {0,1} ∩ {1,2} = {1}: sat
+	r, m := c.SatModel(expr.Conj(conj...))
+	if r != Sat || m["x"] != 1 {
+		t.Errorf("got %v model %v, want x=1", r, m)
+	}
+}
+
+func TestValidTautologies(t *testing.T) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	tautologies := []expr.Expr{
+		expr.Implies(expr.Conj(expr.Le(x, y), expr.Le(y, x)), expr.Eq(x, y)),
+		expr.Implies(expr.Eq(x, expr.Num(5)), expr.Disj(expr.Gt(x, expr.Num(4)), expr.Lt(x, expr.Num(0)))),
+		expr.Disj(expr.Eq(x, y), expr.Ne(x, y)),
+		// Integer rounding: x > 0 && x < 2 -> x = 1.
+		expr.Implies(expr.Conj(expr.Gt(x, expr.Num(0)), expr.Lt(x, expr.Num(2))), expr.Eq(x, expr.Num(1))),
+	}
+	for i, f := range tautologies {
+		if !c.Valid(f) {
+			t.Errorf("tautology %d not proved: %s", i, f)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := NewChecker()
+	before := c.Stats.Queries
+	c.Sat(expr.Eq(expr.V("q"), expr.Num(3)))
+	if c.Stats.Queries != before+1 {
+		t.Errorf("query not counted")
+	}
+	if c.Stats.TheoryChecks == 0 {
+		t.Errorf("theory checks not counted")
+	}
+}
+
+func BenchmarkImplicationQueries(b *testing.B) {
+	c := NewChecker()
+	x := expr.V("x")
+	y := expr.V("y")
+	phi := expr.Conj(expr.Eq(x, y), expr.Ge(y, expr.Num(0)), expr.Lt(x, expr.Num(5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mix of cache hits and distinct queries, like the abstractor's load.
+		if !c.Implies(phi, expr.Ge(x, expr.Num(0))) {
+			b.Fatal("implication should hold")
+		}
+		if c.Implies(phi, expr.Eq(x, expr.Num(int64(i%7)))) && i%7 > 5 {
+			b.Fatal("implication should not hold")
+		}
+	}
+}
