@@ -1,0 +1,192 @@
+package circ
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"circ/internal/cfa"
+	icirc "circ/internal/circ"
+	"circ/internal/smt"
+)
+
+// Target names one (thread, variable) analysis unit of a batch run.
+type Target struct {
+	// Thread is the thread template name.
+	Thread string
+	// Variable is the global checked for races.
+	Variable string
+}
+
+func (t Target) String() string { return t.Thread + "/" + t.Variable }
+
+// TargetReport is one batch result: the target, its report (nil when the
+// analysis errored), the error if any, and the unit's wall-clock time.
+type TargetReport struct {
+	Target
+	Report  *Report
+	Err     error
+	Elapsed time.Duration
+}
+
+// BatchReport aggregates a CheckAllRaces run.
+type BatchReport struct {
+	// Results holds one entry per (thread, global) pair, in deterministic
+	// program order (threads outer, globals inner) regardless of
+	// parallelism.
+	Results []TargetReport
+	// Elapsed is the batch's wall-clock time.
+	Elapsed time.Duration
+	// SMT snapshots the shared SMT cache counters after the run.
+	SMT smt.CacheStats
+}
+
+// Racy returns the results whose verdict is Unsafe.
+func (b *BatchReport) Racy() []TargetReport {
+	var out []TargetReport
+	for _, r := range b.Results {
+		if r.Report != nil && r.Report.Verdict == Unsafe {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Unknowns returns the results that are neither proved safe nor racy:
+// Unknown verdicts and unit errors.
+func (b *BatchReport) Unknowns() []TargetReport {
+	var out []TargetReport
+	for _, r := range b.Results {
+		if r.Report == nil || r.Report.Verdict == Unknown {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary renders one line per target plus a footer with timing and SMT
+// cache effectiveness.
+func (b *BatchReport) Summary() string {
+	var sb strings.Builder
+	for _, r := range b.Results {
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(&sb, "%-24s error: %v\n", r.Target, r.Err)
+		default:
+			fmt.Fprintf(&sb, "%-24s %s (%s)\n", r.Target, r.Report.Summary(), r.Elapsed.Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(&sb, "total %s, smt cache hit rate %.1f%% (%d hits, %d misses)\n",
+		b.Elapsed.Round(time.Millisecond), 100*b.SMT.HitRate(), b.SMT.Hits, b.SMT.Misses)
+	return sb.String()
+}
+
+// CheckAll runs CIRC on every (thread, global) pair of p, fanning the
+// units out over a worker pool bounded by the checker's parallelism. All
+// units share the checker's SMT cache, so formulas discharged for one
+// variable are free for the next. Unit failures are recorded per target
+// rather than aborting the batch; the returned error is non-nil only when
+// the context was cancelled.
+//
+// When more than one unit runs concurrently, each unit's reachability runs
+// sequentially (the pool is the parallelism); a single-unit batch uses
+// frontier-parallel reachability instead. Verdicts are identical either
+// way.
+func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var targets []Target
+	for _, th := range p.ThreadNames() {
+		for _, g := range p.Globals() {
+			targets = append(targets, Target{Thread: th, Variable: g})
+		}
+	}
+	// Pre-build the CFAs sequentially: construction is cheap relative to
+	// analysis and keeps the AST access single-threaded.
+	cfas := make([]*cfa.CFA, len(targets))
+	prebuildErr := make([]error, len(targets))
+	built := make(map[string]*cfa.CFA, len(p.ThreadNames()))
+	for i, t := range targets {
+		if g, ok := built[t.Thread]; ok {
+			cfas[i] = g
+			continue
+		}
+		g, err := p.CFA(t.Thread)
+		if err != nil {
+			prebuildErr[i] = err
+			continue
+		}
+		built[t.Thread] = g
+		cfas[i] = g
+	}
+
+	workers := c.parallelism
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Inner frontier parallelism: when the pool itself is the parallelism,
+	// each unit runs sequentially; a lone unit gets the whole budget.
+	inner := 1
+	if len(targets) == 1 {
+		inner = c.parallelism
+	}
+	// Interleaved narration from concurrent units would be unreadable;
+	// only pass the log through when a single analysis runs at a time.
+	log := c.log
+	if workers > 1 && len(targets) > 1 {
+		log = nil
+	}
+
+	start := time.Now()
+	results := make([]TargetReport, len(targets))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := targets[i]
+				unitStart := time.Now()
+				var rep *Report
+				err := prebuildErr[i]
+				if err == nil {
+					if cerr := ctx.Err(); cerr != nil {
+						err = cerr
+					} else {
+						rep, err = icirc.Check(ctx, cfas[i], t.Variable, c.options(log, inner), c.solver)
+					}
+				}
+				results[i] = TargetReport{Target: t, Report: rep, Err: err, Elapsed: time.Since(unitStart)}
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	b := &BatchReport{Results: results, Elapsed: time.Since(start), SMT: c.solver.Stats()}
+	return b, ctx.Err()
+}
+
+// CheckAllRaces parses src and checks every (thread, global) pair for
+// races in one batch: one unit per pair, fanned out over a worker pool
+// bounded by WithParallelism (default GOMAXPROCS), all sharing one SMT
+// cache. It is the batch complement of Checker.Check — "check the whole
+// program" rather than one variable — and its verdicts are identical at
+// any parallelism.
+func CheckAllRaces(ctx context.Context, src string, opts ...Option) (*BatchReport, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewChecker(opts...).CheckAll(ctx, p)
+}

@@ -12,6 +12,7 @@
 package circ
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -75,7 +76,7 @@ func BenchmarkTable1(b *testing.B) {
 			}
 			var preds, acfaLocs int
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, app.Variable, icirc.Options{}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, app.Variable, icirc.Options{}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -116,7 +117,7 @@ func BenchmarkFigure2to4_IterationARGs(b *testing.B) {
 		chk := smt.NewChecker()
 		set := pred.NewSet()
 		abs := pred.NewAbstractor(chk, set)
-		res, err := reach.ReachAndBuild(c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
+		res, err := reach.ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,12 +136,12 @@ func BenchmarkFigure5_TraceFormula(b *testing.B) {
 	chk := smt.NewChecker()
 	set := pred.NewSet()
 	abs := pred.NewAbstractor(chk, set)
-	res1, err := reach.ReachAndBuild(c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
+	res1, err := reach.ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	a1, mu := bisim.Collapse(res1.ARG, chk)
-	res2, err := reach.ReachAndBuild(c, a1, abs, "x", reach.Options{K: 1})
+	res2, err := reach.ReachAndBuild(context.Background(), c, a1, abs, "x", reach.Options{K: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func BenchmarkSection6_GenuineRaces(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, app.Variable, icirc.Options{}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, app.Variable, icirc.Options{}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -197,7 +198,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 		}
 		b.Run("circ/"+app.Idiom, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, app.Variable, icirc.Options{}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, app.Variable, icirc.Options{}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -310,7 +311,7 @@ thread T {
 func BenchmarkOmegaCIRC(b *testing.B) {
 	c := mustCFA(b, figure1Src)
 	for i := 0; i < b.N; i++ {
-		rep, err := icirc.Check(c, "x", icirc.Options{Omega: true}, smt.NewChecker())
+		rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{Omega: true}, smt.NewChecker())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -361,7 +362,7 @@ func BenchmarkAblation_MineStrategy(b *testing.B) {
 		b.Run(st.name, func(b *testing.B) {
 			var rounds, preds int
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, "x", icirc.Options{MineStrategy: st.s}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{MineStrategy: st.s}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -391,7 +392,7 @@ func BenchmarkAblation_NoMinimization(b *testing.B) {
 			var acfaLocs int
 			converged := 0.0
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, "x", icirc.Options{NoMinimize: noMin, MaxStates: 50000}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{NoMinimize: noMin, MaxStates: 50000}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -430,7 +431,7 @@ func BenchmarkAblation_SingleRaceTrace(b *testing.B) {
 		maxRaces := maxRaces
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := icirc.Check(c, "x", icirc.Options{MaxRaces: maxRaces}, smt.NewChecker())
+				rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{MaxRaces: maxRaces}, smt.NewChecker())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -449,7 +450,7 @@ func BenchmarkSMTCacheEffect(b *testing.B) {
 	b.Run("shared-checker", func(b *testing.B) {
 		chk := smt.NewChecker()
 		for i := 0; i < b.N; i++ {
-			if rep, err := icirc.Check(c, "x", icirc.Options{}, chk); err != nil || rep.Verdict != icirc.Safe {
+			if rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{}, chk); err != nil || rep.Verdict != icirc.Safe {
 				b.Fatalf("%v %v", rep.Verdict, err)
 			}
 		}
@@ -457,7 +458,7 @@ func BenchmarkSMTCacheEffect(b *testing.B) {
 	})
 	b.Run("fresh-checker", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if rep, err := icirc.Check(c, "x", icirc.Options{}, smt.NewChecker()); err != nil || rep.Verdict != icirc.Safe {
+			if rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{}, smt.NewChecker()); err != nil || rep.Verdict != icirc.Safe {
 				b.Fatalf("%v %v", rep.Verdict, err)
 			}
 		}

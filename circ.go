@@ -14,13 +14,20 @@
 //
 // # Quick start
 //
-//	rep, err := circ.CheckRace(src, circ.CheckOptions{Variable: "x"})
+//	chk := circ.NewChecker()
+//	rep, err := chk.CheckSource(ctx, src, "", "x")
 //	if err != nil { ... }
 //	switch rep.Verdict {
 //	case circ.Safe:   // race freedom proved; rep.FinalACFA is the context
 //	case circ.Unsafe: // rep.Race is a concrete interleaved trace
 //	case circ.Unknown:
 //	}
+//
+// Checker is the primary entry point: it is configured once with
+// functional options (WithK, WithOmega, WithLog, WithParallelism), carries
+// a process-wide concurrent SMT cache shared by every analysis it runs,
+// and is safe for concurrent use. CheckAllRaces checks every (thread,
+// global) pair of a program in one batch over a bounded worker pool.
 //
 // The package also exposes the paper's baselines (an Eraser-style lockset
 // detector and the nesC compiler's flow-based analysis), an explicit-state
@@ -29,8 +36,12 @@
 package circ
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"strings"
 
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
@@ -43,7 +54,8 @@ import (
 	"circ/internal/smt"
 )
 
-// Verdict is the analysis outcome.
+// Verdict is the analysis outcome. Its String method renders "safe",
+// "unsafe", or "unknown".
 type Verdict = icirc.Verdict
 
 // Verdicts.
@@ -54,12 +66,36 @@ const (
 )
 
 // Report is the CIRC analysis result; see the fields of the underlying
-// type for the evidence attached to each verdict.
+// type for the evidence attached to each verdict, and Report.Summary for
+// a one-line rendering.
 type Report = icirc.Report
 
 // Interleaving is a concrete interleaved error trace (thread 0 is the
 // distinguished main thread).
 type Interleaving = refine.Interleaving
+
+// CertificateError reports an invalid Safe certificate from
+// VerifyCertificate: which assume-guarantee obligation failed and why.
+// Retrieve it with errors.As.
+type CertificateError = icirc.CertificateError
+
+// Obligation identifies a failed proof obligation in a CertificateError.
+type Obligation = icirc.Obligation
+
+// Obligations.
+const (
+	ObligationAssume    = icirc.ObligationAssume
+	ObligationGuarantee = icirc.ObligationGuarantee
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrNoVariable reports that no race variable was specified.
+	ErrNoVariable = errors.New("no race variable specified")
+	// ErrUnknownThread reports that the requested thread template is not
+	// declared by the program.
+	ErrUnknownThread = errors.New("unknown thread")
+)
 
 // Program is a parsed MiniNesC program.
 type Program struct {
@@ -102,7 +138,157 @@ func (p *Program) CFA(thread string) (*cfa.CFA, error) {
 	return cfa.Build(p.ast, thread)
 }
 
-// CheckOptions configures CheckRace.
+// checkThread validates a non-empty thread name against the declared
+// threads, returning an error wrapping ErrUnknownThread on a miss. The
+// empty name (meaning "the single thread") is resolved by cfa.Build.
+func (p *Program) checkThread(thread string) error {
+	if thread == "" {
+		return nil
+	}
+	names := p.ThreadNames()
+	for _, n := range names {
+		if n == thread {
+			return nil
+		}
+	}
+	return fmt.Errorf("circ: thread %q not declared (have %s): %w",
+		thread, strings.Join(names, ", "), ErrUnknownThread)
+}
+
+// Checker is the primary analysis entry point: a reusable, concurrency-
+// safe CIRC engine configured with functional options. All analyses run
+// through one Checker share a process-wide memoising SMT cache, so
+// predicate-abstraction cubes and validity queries discharged once are
+// never re-solved — across refinement rounds, across frontier workers,
+// and across the (thread, variable) pairs of a batch run.
+type Checker struct {
+	k           int
+	omega       bool
+	log         io.Writer
+	parallelism int
+	maxRounds   int
+	maxInner    int
+	maxStates   int
+	solver      *smt.CachedChecker
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithK sets the initial counter parameter (default 1).
+func WithK(k int) Option { return func(c *Checker) { c.k = k } }
+
+// WithOmega selects the omega-CIRC variant (Section 5): exact-k
+// reachability plus the good-location generalisation check.
+func WithOmega(omega bool) Option { return func(c *Checker) { c.omega = omega } }
+
+// WithLog directs a narration of every iteration to w. In batch runs the
+// narration is only emitted when a single analysis runs at a time
+// (parallelism 1 or a single target), to keep it readable.
+func WithLog(w io.Writer) Option { return func(c *Checker) { c.log = w } }
+
+// WithParallelism bounds the worker pool: frontier states of one
+// reachability run and (thread, variable) pairs of a batch run are
+// expanded by at most n workers. n <= 0 selects GOMAXPROCS (the default).
+// Verdicts are identical at any parallelism.
+func WithParallelism(n int) Option { return func(c *Checker) { c.parallelism = n } }
+
+// WithBudgets bounds the analysis: maximum refinement rounds, inner
+// context-weakening rounds, and abstract states per reachability run.
+// Zero keeps the default for that budget.
+func WithBudgets(maxRounds, maxInner, maxStates int) Option {
+	return func(c *Checker) {
+		c.maxRounds, c.maxInner, c.maxStates = maxRounds, maxInner, maxStates
+	}
+}
+
+// NewChecker returns a Checker with the given options applied.
+func NewChecker(opts ...Option) *Checker {
+	c := &Checker{solver: smt.NewCachedChecker()}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.parallelism <= 0 {
+		c.parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// SMTStats returns a snapshot of the shared SMT cache counters: hits,
+// misses, and underlying solver work.
+func (c *Checker) SMTStats() smt.CacheStats { return c.solver.Stats() }
+
+// options assembles the internal engine options for one analysis.
+func (c *Checker) options(log io.Writer, parallelism int) icirc.Options {
+	return icirc.Options{
+		K:           c.k,
+		Omega:       c.omega,
+		Log:         log,
+		MaxRounds:   c.maxRounds,
+		MaxInner:    c.maxInner,
+		MaxStates:   c.maxStates,
+		Parallelism: parallelism,
+	}
+}
+
+// Check runs CIRC on the named thread of p (empty: the single thread),
+// verifying that arbitrarily many copies running concurrently are free of
+// data races on variable. The context cancels the analysis between
+// iterations and reachability levels.
+func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string) (*Report, error) {
+	if variable == "" {
+		return nil, fmt.Errorf("circ: %w", ErrNoVariable)
+	}
+	if err := p.checkThread(thread); err != nil {
+		return nil, err
+	}
+	g, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	return icirc.Check(ctx, g, variable, c.options(c.log, c.parallelism), c.solver)
+}
+
+// CheckSource is Check for unparsed source text.
+func (c *Checker) CheckSource(ctx context.Context, src, thread, variable string) (*Report, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Check(ctx, p, thread, variable)
+}
+
+// VerifyCertificate independently re-checks a Safe verdict's evidence via
+// the paper's Algorithm Check (Section 4.2): it discharges the assume
+// obligation (no abstract race under the given context model and
+// predicates) and the guarantee obligation (the context simulates the
+// thread's behaviour) without running any inference. It returns nil when
+// the certificate is valid, a *CertificateError naming the failed
+// obligation when it is not, and any other error when the check could not
+// run.
+func (c *Checker) VerifyCertificate(ctx context.Context, p *Program, thread, variable string, rep *Report) error {
+	if variable == "" {
+		return fmt.Errorf("circ: %w", ErrNoVariable)
+	}
+	if err := p.checkThread(thread); err != nil {
+		return err
+	}
+	if rep.FinalACFA == nil {
+		return fmt.Errorf("circ: report carries no context model (verdict %v)", rep.Verdict)
+	}
+	g, err := p.CFA(thread)
+	if err != nil {
+		return err
+	}
+	return icirc.VerifyCertificate(ctx, g, variable, rep.FinalACFA, rep.Preds, rep.K, c.solver)
+}
+
+// CheckOptions configures the deprecated one-shot entry points.
+//
+// Deprecated: use NewChecker with functional options (WithK, WithOmega,
+// WithLog, WithParallelism, WithBudgets) and the Checker methods instead;
+// they add context cancellation, frontier-parallel analysis, and a shared
+// SMT cache across calls.
 type CheckOptions struct {
 	// Variable is the global to check for races (required).
 	Variable string
@@ -120,10 +306,26 @@ type CheckOptions struct {
 	MaxRounds, MaxInner, MaxStates int
 }
 
+// checker builds the equivalent Checker for the deprecated options
+// (sequential, fresh SMT cache — the historical behaviour).
+func (o CheckOptions) checker() *Checker {
+	return NewChecker(
+		WithK(o.K),
+		WithOmega(o.Omega),
+		WithLog(o.Log),
+		WithParallelism(1),
+		WithBudgets(o.MaxRounds, o.MaxInner, o.MaxStates),
+	)
+}
+
 // CheckRace runs CIRC on the program denoted by src: it verifies that
 // arbitrarily many copies of the thread running concurrently are free of
 // data races on the given variable, or returns a genuine interleaved race
 // trace.
+//
+// Deprecated: use NewChecker(...).CheckSource, which adds context
+// cancellation and parallel analysis. CheckRace remains as a thin
+// compatibility wrapper.
 func CheckRace(src string, opts CheckOptions) (*Report, error) {
 	p, err := Parse(src)
 	if err != nil {
@@ -133,22 +335,19 @@ func CheckRace(src string, opts CheckOptions) (*Report, error) {
 }
 
 // CheckProgram is CheckRace for an already-parsed program.
+//
+// Deprecated: use NewChecker(...).Check, which adds context cancellation
+// and parallel analysis. CheckProgram remains as a thin compatibility
+// wrapper.
 func CheckProgram(p *Program, opts CheckOptions) (*Report, error) {
-	if opts.Variable == "" {
-		return nil, fmt.Errorf("circ: CheckOptions.Variable is required")
-	}
-	c, err := p.CFA(opts.Thread)
-	if err != nil {
-		return nil, err
-	}
-	return icirc.Check(c, opts.Variable, icirc.Options{
-		K:         opts.K,
-		Omega:     opts.Omega,
-		Log:       opts.Log,
-		MaxRounds: opts.MaxRounds,
-		MaxInner:  opts.MaxInner,
-		MaxStates: opts.MaxStates,
-	}, smt.NewChecker())
+	return opts.checker().Check(context.Background(), p, opts.Thread, opts.Variable)
+}
+
+// VerifyCertificate re-checks a Safe verdict's evidence; see
+// Checker.VerifyCertificate. It returns nil for a valid certificate and a
+// *CertificateError naming the failed obligation otherwise.
+func VerifyCertificate(ctx context.Context, p *Program, opts CheckOptions, rep *Report) error {
+	return opts.checker().VerifyCertificate(ctx, p, opts.Thread, opts.Variable, rep)
 }
 
 // LocksetReport is the Eraser-style baseline's output.
@@ -200,26 +399,6 @@ func ExplicitCheck(src string, thread string, n int, variable string) (*Explicit
 		return nil, err
 	}
 	return explicit.NewSymmetric(c, n).CheckRaces(variable, explicit.Options{})
-}
-
-// VerifyCertificate independently re-checks a Safe verdict's evidence via
-// the paper's Algorithm Check (Section 4.2): it discharges the assume
-// obligation (no abstract race under the given context model and
-// predicates) and the guarantee obligation (the context simulates the
-// thread's behaviour) without running any inference. It returns whether
-// the certificate is valid and, if not, which obligation failed.
-func VerifyCertificate(p *Program, opts CheckOptions, rep *Report) (bool, string, error) {
-	if opts.Variable == "" {
-		return false, "", fmt.Errorf("circ: CheckOptions.Variable is required")
-	}
-	if rep.FinalACFA == nil {
-		return false, "", fmt.Errorf("circ: report carries no context model (verdict %v)", rep.Verdict)
-	}
-	c, err := p.CFA(opts.Thread)
-	if err != nil {
-		return false, "", err
-	}
-	return icirc.VerifyCertificate(c, opts.Variable, rep.FinalACFA, rep.Preds, rep.K, smt.NewChecker())
 }
 
 // ParamResult is the Appendix A checker's output.

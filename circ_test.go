@@ -1,6 +1,8 @@
 package circ
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -41,14 +43,26 @@ func TestPublicAPISafe(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	if _, err := CheckRace(tasSrc, CheckOptions{}); err == nil {
-		t.Fatalf("missing Variable not rejected")
+	if _, err := CheckRace(tasSrc, CheckOptions{}); !errors.Is(err, ErrNoVariable) {
+		t.Fatalf("missing Variable: got %v, want ErrNoVariable", err)
 	}
 	if _, err := CheckRace("syntax error", CheckOptions{Variable: "x"}); err == nil {
 		t.Fatalf("parse error not propagated")
 	}
-	if _, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Thread: "Nope"}); err == nil {
-		t.Fatalf("unknown thread not rejected")
+	if _, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Thread: "Nope"}); !errors.Is(err, ErrUnknownThread) {
+		t.Fatalf("unknown thread: got %v, want ErrUnknownThread", err)
+	}
+	// The new Checker API reports the same sentinels.
+	chk := NewChecker()
+	p, err := Parse(tasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chk.Check(context.Background(), p, "", ""); !errors.Is(err, ErrNoVariable) {
+		t.Fatalf("Checker missing variable: got %v, want ErrNoVariable", err)
+	}
+	if _, err := chk.Check(context.Background(), p, "Nope", "x"); !errors.Is(err, ErrUnknownThread) {
+		t.Fatalf("Checker unknown thread: got %v, want ErrUnknownThread", err)
 	}
 }
 
@@ -236,15 +250,14 @@ func TestVerifyCertificatePublicAPI(t *testing.T) {
 	if err != nil || rep.Verdict != Safe {
 		t.Fatalf("setup: %v %v", err, rep.Verdict)
 	}
-	ok, why, err := VerifyCertificate(p, CheckOptions{Variable: "x"}, rep)
-	if err != nil || !ok {
-		t.Fatalf("certificate rejected: %s %v", why, err)
+	if err := VerifyCertificate(context.Background(), p, CheckOptions{Variable: "x"}, rep); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
 	}
 	// Missing variable and missing ACFA error paths.
-	if _, _, err := VerifyCertificate(p, CheckOptions{}, rep); err == nil {
-		t.Errorf("missing variable accepted")
+	if err := VerifyCertificate(context.Background(), p, CheckOptions{}, rep); !errors.Is(err, ErrNoVariable) {
+		t.Errorf("missing variable: got %v, want ErrNoVariable", err)
 	}
-	if _, _, err := VerifyCertificate(p, CheckOptions{Variable: "x"}, &Report{}); err == nil {
+	if err := VerifyCertificate(context.Background(), p, CheckOptions{Variable: "x"}, &Report{}); err == nil {
 		t.Errorf("report without ACFA accepted")
 	}
 }

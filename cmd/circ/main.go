@@ -1,0 +1,178 @@
+// Command circ checks a MiniNesC program for data races using the CIRC
+// context-inference algorithm, optionally comparing against the lockset
+// and flow-based baselines.
+//
+// Usage:
+//
+//	circ -var x [-thread T] [-omega] [-k N] [-parallel N] [-v] [-baselines] prog.mn
+//
+// Exit status: 0 when race freedom is proved, 1 when a genuine race is
+// found, 2 on "unknown", 3 on usage or input errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"circ"
+	"circ/internal/refine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// cliErr prints an error without duplicating the "circ:" prefix that
+// library errors already carry.
+func cliErr(err error) {
+	msg := err.Error()
+	if strings.HasPrefix(msg, "circ:") {
+		fmt.Fprintln(os.Stderr, msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "circ:", msg)
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("circ", flag.ContinueOnError)
+	var (
+		varName   = fs.String("var", "", "global variable to check for races (required)")
+		thread    = fs.String("thread", "", "thread template (default: the single thread)")
+		omega     = fs.Bool("omega", false, "use the omega-CIRC variant (Section 5)")
+		k         = fs.Int("k", 1, "initial counter parameter")
+		parallel  = fs.Int("parallel", 0, "analysis worker pool size (0: GOMAXPROCS)")
+		verbose   = fs.Bool("v", false, "narrate every CIRC iteration")
+		baselines = fs.Bool("baselines", false, "also run the lockset and flow-based baselines")
+		all       = fs.Bool("all", false, "check every global variable (ignores -var)")
+		dotOut    = fs.String("dot", "", "write the thread CFA and (on safe) the inferred context ACFA as dot files with this prefix")
+		verify    = fs.Bool("verify", false, "independently re-check a safe verdict's certificate (Algorithm Check)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: circ -var x [flags] prog.mn\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if fs.NArg() != 1 || (*varName == "" && !*all) {
+		fs.Usage()
+		return 3
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		cliErr(err)
+		return 3
+	}
+
+	prog, err := circ.Parse(string(src))
+	if err != nil {
+		cliErr(err)
+		return 3
+	}
+	opts := []circ.Option{circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel)}
+	if *verbose {
+		opts = append(opts, circ.WithLog(os.Stderr))
+	}
+	// One checker for the whole invocation: with -all, SMT answers
+	// discharged for one variable are reused for the next.
+	chk := circ.NewChecker(opts...)
+	vars := []string{*varName}
+	if *all {
+		vars = prog.Globals()
+	}
+	worst := 0
+	for _, v := range vars {
+		code := checkOne(chk, prog, string(src), v, *thread, *verbose, *baselines, *dotOut, *verify)
+		if code > worst {
+			worst = code
+		}
+	}
+	return worst
+}
+
+func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string, verbose, baselines bool, dotOut string, verify bool) int {
+	ctx := context.Background()
+	rep, err := chk.Check(ctx, prog, thread, varName)
+	if err != nil {
+		cliErr(err)
+		return 3
+	}
+
+	switch rep.Verdict {
+	case circ.Safe:
+		fmt.Printf("SAFE: no races on %q (predicates: %d, context ACFA: %d locations, k=%d, rounds=%d)\n",
+			varName, len(rep.Preds), rep.FinalACFA.NumLocs(), rep.K, rep.Rounds)
+		for _, p := range rep.Preds {
+			fmt.Printf("  predicate: %s\n", p)
+		}
+		if verbose {
+			fmt.Printf("inferred context model:\n%s", rep.FinalACFA)
+		}
+		if verify {
+			err := chk.VerifyCertificate(ctx, prog, thread, varName, rep)
+			var cerr *circ.CertificateError
+			switch {
+			case err == nil:
+				fmt.Println("certificate independently verified (Algorithm Check)")
+			case errors.As(err, &cerr):
+				fmt.Printf("CERTIFICATE REJECTED: %s check failed: %s\n", cerr.Obligation, cerr.Detail)
+				return 2
+			default:
+				fmt.Fprintln(os.Stderr, "circ: certificate check:", err)
+				return 3
+			}
+		}
+	case circ.Unsafe:
+		fmt.Printf("UNSAFE: race on %q; interleaved trace (T0 = main):\n", varName)
+		if rep.Witness != nil {
+			if c, err := prog.CFA(thread); err == nil {
+				fmt.Print(refine.FormatTraceWithWitness(c, rep.Race, rep.Witness))
+				break
+			}
+		}
+		fmt.Print(rep.Race)
+	default:
+		fmt.Printf("UNKNOWN on %q: %s\n", varName, rep.Reason)
+	}
+	if dotOut != "" {
+		c, err := prog.CFA(thread)
+		if err == nil {
+			_ = os.WriteFile(dotOut+".cfa.dot", []byte(c.Dot()), 0o644)
+		}
+		if rep.FinalACFA != nil {
+			_ = os.WriteFile(dotOut+"."+varName+".acfa.dot", []byte(rep.FinalACFA.Dot()), 0o644)
+		}
+	}
+
+	if baselines {
+		fmt.Println("--- baselines ---")
+		ls, err := circ.Lockset(src, thread, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockset:", err)
+		} else if ls.Racy(varName) {
+			fmt.Printf("lockset (Eraser): flags %q: %s\n", varName, ls.Warnings[varName])
+		} else {
+			fmt.Printf("lockset (Eraser): no warning on %q\n", varName)
+		}
+		fc, err := circ.Flowcheck(src, thread)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowcheck:", err)
+		} else if fc.Racy(varName) {
+			fmt.Printf("flowcheck (nesC): flags %q (%d non-atomic accesses)\n", varName, len(fc.Warnings))
+		} else {
+			fmt.Printf("flowcheck (nesC): no warning on %q\n", varName)
+		}
+	}
+
+	switch rep.Verdict {
+	case circ.Safe:
+		return 0
+	case circ.Unsafe:
+		return 1
+	}
+	return 2
+}

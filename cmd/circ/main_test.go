@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.mn")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const safeSrc = `
+global int x;
+global int state;
+
+thread Worker {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+
+func TestRunSafeExitCode(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	if code := run([]string{"-var", "x", path}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestRunUnsafeExitCode(t *testing.T) {
+	path := writeProg(t, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`)
+	if code := run([]string{"-var", "x", path}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code := run([]string{}); code != 3 {
+		t.Fatalf("no args: exit = %d, want 3", code)
+	}
+	if code := run([]string{"-var", "x", "/nonexistent/prog.mn"}); code != 3 {
+		t.Fatalf("missing file: exit = %d, want 3", code)
+	}
+	path := writeProg(t, "syntax error here")
+	if code := run([]string{"-var", "x", path}); code != 3 {
+		t.Fatalf("parse error: exit = %d, want 3", code)
+	}
+}
+
+func TestRunAllAndVerify(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	if code := run([]string{"-all", "-verify", path}); code != 0 {
+		t.Fatalf("-all -verify: exit = %d, want 0", code)
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	prefix := filepath.Join(t.TempDir(), "out")
+	if code := run([]string{"-var", "x", "-dot", prefix, path}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(prefix + ".cfa.dot"); err != nil {
+		t.Fatalf("cfa dot missing: %v", err)
+	}
+	if _, err := os.Stat(prefix + ".x.acfa.dot"); err != nil {
+		t.Fatalf("acfa dot missing: %v", err)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	if code := run([]string{"-var", "x", "-baselines", path}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}

@@ -1,20 +1,30 @@
-// Command circbench regenerates the paper's evaluation artifacts:
+// Command circbench regenerates the paper's evaluation artifacts and
+// tracks the engine's performance:
 //
 //	circbench -table1    reproduce Table 1 (predicates, ACFA size, time)
 //	circbench -races     reproduce the Section 6 genuine-race findings
 //	circbench -compare   CIRC vs lockset vs flow-based on the idiom suite
 //	circbench -figures   reproduce Figures 1-5 on the worked example
+//	circbench -bench     parallel-vs-sequential benchmark; emits BENCH_parallel.json
 //
-// With no flags, everything runs in order.
+// With no flags, the four paper artifacts run in order (-bench is opt-in).
+// -parallel N sets the analysis worker pool (0: GOMAXPROCS); every phase
+// reports wall-clock time and SMT cache hit rates.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
+	"circ"
 	"circ/internal/benchapps"
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
@@ -25,27 +35,65 @@ import (
 	"circ/internal/smt"
 )
 
+var (
+	parallel   = flag.Int("parallel", 0, "analysis worker pool size (0: GOMAXPROCS)")
+	benchOut   = flag.String("benchout", "BENCH_parallel.json", "output path for the -bench report")
+	programDir = flag.String("programs", "examples/programs", "directory of .mn programs to include in -bench (skipped when missing)")
+)
+
+// chk is the process-wide SMT layer: every phase shares it, so the
+// per-phase hit rates below show cross-phase reuse too.
+var chk = smt.NewCachedChecker()
+
+func parallelism() int {
+	if *parallel > 0 {
+		return *parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func main() {
 	var (
 		table1  = flag.Bool("table1", false, "reproduce Table 1")
 		races   = flag.Bool("races", false, "reproduce the Section 6 race findings")
 		compare = flag.Bool("compare", false, "reproduce the baseline comparison")
 		figures = flag.Bool("figures", false, "reproduce Figures 1-5")
+		bench   = flag.Bool("bench", false, "run the parallel-engine benchmark and write "+*benchOut)
 	)
 	flag.Parse()
-	all := !*table1 && !*races && !*compare && !*figures
+	all := !*table1 && !*races && !*compare && !*figures && !*bench
 	if *table1 || all {
-		runTable1()
+		phase("table1", runTable1)
 	}
 	if *races || all {
-		runRaces()
+		phase("races", runRaces)
 	}
 	if *compare || all {
-		runCompare()
+		phase("compare", runCompare)
 	}
 	if *figures || all {
-		runFigures()
+		phase("figures", runFigures)
 	}
+	if *bench {
+		phase("bench", runBench)
+	}
+}
+
+// phase runs fn and reports its wall-clock time and the SMT cache work it
+// caused (deltas against the shared process-wide cache).
+func phase(name string, fn func()) {
+	before := chk.Stats()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	after := chk.Stats()
+	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("[phase %s] wall %s, smt hits %d, misses %d, hit rate %.1f%%\n\n",
+		name, elapsed.Round(time.Millisecond), hits, misses, 100*rate)
 }
 
 func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
@@ -55,7 +103,8 @@ func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 		os.Exit(1)
 	}
 	start := time.Now()
-	rep, err := icirc.Check(c, app.Variable, icirc.Options{}, smt.NewChecker())
+	rep, err := icirc.Check(context.Background(), c, app.Variable,
+		icirc.Options{Parallelism: parallelism()}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -161,7 +210,7 @@ func runFigures() {
 	fmt.Println("-- Figure 1(b): the thread's CFA --")
 	fmt.Print(c)
 	fmt.Println("-- Figures 2-4: CIRC iterations (ARGs, minimised ACFAs, refinements) --")
-	rep, err := icirc.Check(c, "x", icirc.Options{Log: os.Stdout}, smt.NewChecker())
+	rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{Log: os.Stdout}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -175,6 +224,147 @@ func runFigures() {
 		fmt.Printf("  clause %2d: %s\n", i, cl)
 	}
 	fmt.Printf("verdict: %s with predicates %v\n", rep.Verdict, rep.Preds)
+}
+
+// --- the -bench target ---
+
+// benchCase is one benchmark program: all (thread, global) pairs are
+// checked in one CheckAllRaces batch.
+type benchCase struct {
+	Name   string
+	Source string
+}
+
+// benchRow is one emitted BENCH_parallel.json record.
+type benchRow struct {
+	Name          string            `json:"name"`
+	Targets       int               `json:"targets"`
+	Verdicts      map[string]string `json:"verdicts"`
+	VerdictsAgree bool              `json:"verdicts_agree"`
+	SeqMillis     float64           `json:"seq_ms"`
+	ParMillis     float64           `json:"par_ms"`
+	Speedup       float64           `json:"speedup"`
+	SMTQueries    int64             `json:"smt_queries"`
+	CacheHits     int64             `json:"cache_hits"`
+	CacheMisses   int64             `json:"cache_misses"`
+	HitRate       float64           `json:"hit_rate"`
+}
+
+type benchReport struct {
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Parallelism int        `json:"parallelism"`
+	Rows        []benchRow `json:"benchmarks"`
+	TotalSeqMs  float64    `json:"total_seq_ms"`
+	TotalParMs  float64    `json:"total_par_ms"`
+	Speedup     float64    `json:"speedup"`
+}
+
+func benchCases() []benchCase {
+	var cases []benchCase
+	seen := map[string]bool{}
+	for _, app := range benchapps.Table1() {
+		if seen[app.Name] {
+			continue
+		}
+		seen[app.Name] = true
+		cases = append(cases, benchCase{Name: "table1/" + app.Name, Source: app.Source})
+	}
+	cases = append(cases, benchCase{Name: "appmodel", Source: benchapps.AppModel})
+	if entries, err := os.ReadDir(*programDir); err == nil {
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".mn") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			src, err := os.ReadFile(filepath.Join(*programDir, n))
+			if err != nil {
+				continue
+			}
+			cases = append(cases, benchCase{Name: "programs/" + strings.TrimSuffix(n, ".mn"), Source: string(src)})
+		}
+	}
+	return cases
+}
+
+// runOnce batch-checks src with the given parallelism on a fresh checker
+// (fresh SMT cache, so sequential and parallel runs measure the same
+// work).
+func runOnce(src string, par int) (*circ.BatchReport, error) {
+	return circ.CheckAllRaces(context.Background(), src, circ.WithParallelism(par))
+}
+
+func runBench() {
+	par := parallelism()
+	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
+	fmt.Printf("%-28s %7s %9s %9s %8s %9s\n", "benchmark", "targets", "seq", "par", "speedup", "hit-rate")
+	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
+	for _, bc := range benchCases() {
+		seq, err := runOnce(bc.Source, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(sequential):", err)
+			os.Exit(1)
+		}
+		parRep, err := runOnce(bc.Source, par)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(parallel):", err)
+			os.Exit(1)
+		}
+		row := benchRow{
+			Name:          bc.Name,
+			Targets:       len(parRep.Results),
+			Verdicts:      map[string]string{},
+			VerdictsAgree: true,
+			SeqMillis:     float64(seq.Elapsed.Microseconds()) / 1000,
+			ParMillis:     float64(parRep.Elapsed.Microseconds()) / 1000,
+			SMTQueries:    parRep.SMT.Solver.Queries,
+			CacheHits:     parRep.SMT.Hits,
+			CacheMisses:   parRep.SMT.Misses,
+			HitRate:       parRep.SMT.HitRate(),
+		}
+		for i, r := range parRep.Results {
+			v := "error"
+			if r.Report != nil {
+				v = r.Report.Verdict.String()
+			}
+			row.Verdicts[r.Target.String()] = v
+			sv := "error"
+			if sr := seq.Results[i]; sr.Report != nil {
+				sv = sr.Report.Verdict.String()
+			}
+			if sv != v {
+				row.VerdictsAgree = false
+			}
+		}
+		if row.ParMillis > 0 {
+			row.Speedup = row.SeqMillis / row.ParMillis
+		}
+		report.Rows = append(report.Rows, row)
+		report.TotalSeqMs += row.SeqMillis
+		report.TotalParMs += row.ParMillis
+		agree := ""
+		if !row.VerdictsAgree {
+			agree = "  VERDICT MISMATCH"
+		}
+		fmt.Printf("%-28s %7d %8.0fms %8.0fms %7.2fx %8.1f%%%s\n",
+			bc.Name, row.Targets, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, agree)
+	}
+	if report.TotalParMs > 0 {
+		report.Speedup = report.TotalSeqMs / report.TotalParMs
+	}
+	fmt.Printf("%-28s %7s %8.0fms %8.0fms %7.2fx\n", "TOTAL", "", report.TotalSeqMs, report.TotalParMs, report.Speedup)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "circbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *benchOut)
 }
 
 func indent(s, pre string) string {

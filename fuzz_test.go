@@ -1,6 +1,7 @@
 package circ
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -124,7 +125,7 @@ func TestFuzzCrossValidation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("build: %v\n%s", err, src)
 		}
-		rep, err := icirc.Check(c, "g", icirc.Options{
+		rep, err := icirc.Check(context.Background(), c, "g", icirc.Options{
 			MaxStates: 40000, MaxRounds: 12, MaxInner: 20,
 		}, smt.NewChecker())
 		if err != nil {

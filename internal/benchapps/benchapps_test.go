@@ -1,6 +1,7 @@
 package benchapps
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestTable1Verdicts(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			rep, err := circ.Check(c, app.Variable, circ.Options{}, smt.NewChecker())
+			rep, err := circ.Check(context.Background(), c, app.Variable, circ.Options{}, smt.NewChecker())
 			if err != nil {
 				t.Fatalf("check: %v", err)
 			}
@@ -44,7 +45,7 @@ func TestSection6RacesFound(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			rep, err := circ.Check(c, app.Variable, circ.Options{}, smt.NewChecker())
+			rep, err := circ.Check(context.Background(), c, app.Variable, circ.Options{}, smt.NewChecker())
 			if err != nil {
 				t.Fatalf("check: %v", err)
 			}
@@ -95,7 +96,7 @@ func TestAppModel(t *testing.T) {
 			if v.Heavy && !heavy {
 				t.Skip("beyond the default state budget (same scalability envelope as the paper's 20-minute rows); set CIRC_FULL_APPMODEL=1 to run")
 			}
-			rep, err := circ.Check(c, v.Name, circ.Options{MaxStates: 20000000}, smt.NewChecker())
+			rep, err := circ.Check(context.Background(), c, v.Name, circ.Options{MaxStates: 20000000}, smt.NewChecker())
 			if err != nil {
 				t.Fatalf("check: %v", err)
 			}

@@ -1,6 +1,7 @@
 package benchapps
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -16,7 +17,7 @@ func TestDebugGTxState(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Println(c)
-	rep, err := circ.Check(c, "gTxState", circ.Options{Log: os.Stdout}, smt.NewChecker())
+	rep, err := circ.Check(context.Background(), c, "gTxState", circ.Options{Log: os.Stdout}, smt.NewChecker())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 // Collapse minimises the ARG g into an ACFA context model. It returns the
 // quotient automaton and mu, the map from canonical ARG location ids to
 // quotient locations (needed by the refiner to concretise abstract paths).
-func Collapse(g *reach.ARG, chk *smt.Checker) (*acfa.ACFA, map[int]acfa.Loc) {
+func Collapse(g *reach.ARG, chk smt.Solver) (*acfa.ACFA, map[int]acfa.Loc) {
 	argA, locMap := g.ToACFA()
 	quot, classOf := Quotient(argA, chk)
 	mu := make(map[int]acfa.Loc, len(locMap))
@@ -30,7 +30,7 @@ func Collapse(g *reach.ARG, chk *smt.Checker) (*acfa.ACFA, map[int]acfa.Loc) {
 
 // Quotient computes the weak bisimulation quotient of a. It returns the
 // quotient automaton and the class of each original location.
-func Quotient(a *acfa.ACFA, chk *smt.Checker) (*acfa.ACFA, map[acfa.Loc]acfa.Loc) {
+func Quotient(a *acfa.ACFA, chk smt.Solver) (*acfa.ACFA, map[acfa.Loc]acfa.Loc) {
 	n := a.NumLocs()
 	if n == 0 {
 		empty := &acfa.ACFA{}
@@ -164,7 +164,7 @@ func signature(moves []acfa.WeakMove, block []int, self int) string {
 }
 
 // labelsEquivalent reports semantic equivalence of two location labels.
-func labelsEquivalent(a *acfa.ACFA, x, y acfa.Loc, chk *smt.Checker) bool {
+func labelsEquivalent(a *acfa.ACFA, x, y acfa.Loc, chk smt.Solver) bool {
 	lx, ly := a.Label(x), a.Label(y)
 	if lx.Key() == ly.Key() {
 		return true

@@ -1,0 +1,392 @@
+// Package circ implements the paper's main contribution: the CIRC context
+// inference algorithm (Algorithm 5) and its omega-CIRC optimisation
+// (Section 5). CIRC interleaves two nested loops:
+//
+//   - the inner loop alternately weakens the context model — running
+//     ReachAndBuild under the current ACFA and Collapse-ing the resulting
+//     ARG into a new, weaker ACFA — until the context model simulates the
+//     thread's observed behaviour (circular assume-guarantee closure);
+//   - the outer loop refines the abstraction — adding predicates mined
+//     from spurious counterexamples or incrementing the thread counter —
+//     whenever the inner loop trips over an abstract race.
+//
+// The result is either a proof of race freedom (a sound context model), a
+// genuine interleaved race trace, or an "unknown" verdict when refinement
+// stalls or budgets run out.
+package circ
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"circ/internal/acfa"
+	"circ/internal/bisim"
+	"circ/internal/cfa"
+	"circ/internal/expr"
+	"circ/internal/pred"
+	"circ/internal/reach"
+	"circ/internal/refine"
+	"circ/internal/simrel"
+	"circ/internal/smt"
+)
+
+// Verdict is the analysis outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	Unknown Verdict = iota
+	Safe
+	Unsafe
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Unsafe:
+		return "unsafe"
+	}
+	return "unknown"
+}
+
+// Options configures the checker.
+type Options struct {
+	// K is the initial counter parameter (default 1).
+	K int
+	// InitialPreds seeds the predicate set.
+	InitialPreds []expr.Expr
+	// Omega selects the omega-CIRC variant: reachability with exactly K
+	// context threads plus the good-location generalisation check.
+	Omega bool
+	// MaxRounds bounds outer (refinement) rounds; default 40.
+	MaxRounds int
+	// MaxInner bounds inner (context-weakening) rounds; default 60.
+	MaxInner int
+	// MaxStates bounds each reachability run.
+	MaxStates int
+	// Log, when non-nil, receives a detailed narration of every iteration
+	// (the Figures 2-5 reproduction).
+	Log io.Writer
+	// MineStrategy selects how predicates are discovered from spurious
+	// counterexamples (default: unsat-core atoms).
+	MineStrategy refine.MineStrategy
+	// NoMinimize disables the weak-bisimulation quotient: the context is
+	// weakened to the (projected) ARG itself. Ablation switch; sound but
+	// produces larger context models.
+	NoMinimize bool
+	// MaxRaces caps how many abstract race traces each reachability run
+	// collects (0 = default). MaxRaces = 1 reproduces the paper's
+	// first-trace-only behaviour, as an ablation.
+	MaxRaces int
+	// Parallelism is the number of workers used for frontier-parallel
+	// reachability (0 or 1: sequential). Verdicts are identical at any
+	// parallelism; values > 1 require chk to be safe for concurrent use
+	// (smt.CachedChecker).
+	Parallelism int
+}
+
+func (o Options) k() int {
+	if o.K > 0 {
+		return o.K
+	}
+	return 1
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 40
+}
+
+func (o Options) maxInner() int {
+	if o.MaxInner > 0 {
+		return o.MaxInner
+	}
+	return 60
+}
+
+// IterationInfo records one inner iteration, for the evaluation harness.
+type IterationInfo struct {
+	Round, Inner  int
+	NumPreds      int
+	NumStates     int
+	ARGLocs       int
+	ACFALocs      int
+	RaceFound     bool
+	RefineOutcome string
+}
+
+// Report is the analysis result with its evidence.
+type Report struct {
+	Verdict Verdict
+	// Reason explains Unknown verdicts.
+	Reason string
+	// Preds is the final predicate set.
+	Preds []expr.Expr
+	// K is the final counter parameter.
+	K int
+	// FinalACFA is the inferred sound context model (Safe only).
+	FinalACFA *acfa.ACFA
+	// Race is the genuine interleaved trace (Unsafe only).
+	Race *refine.Interleaving
+	// Witness is a satisfying SSA model of the race's trace formula; use
+	// refine.FormatTraceWithWitness to render the trace with values.
+	Witness map[string]int64
+	// TF is the trace formula of the final analysed trace.
+	TF []expr.Expr
+	// Rounds counts outer iterations; History records every inner one.
+	Rounds  int
+	History []IterationInfo
+}
+
+// Summary renders the report as a one-line human-readable verdict with
+// its headline evidence.
+func (r *Report) Summary() string {
+	switch r.Verdict {
+	case Safe:
+		locs := 0
+		if r.FinalACFA != nil {
+			locs = r.FinalACFA.NumLocs()
+		}
+		return fmt.Sprintf("safe: race freedom proved (%d predicates, %d-location context, k=%d, %d rounds)",
+			len(r.Preds), locs, r.K, r.Rounds)
+	case Unsafe:
+		steps := 0
+		if r.Race != nil {
+			steps = len(r.Race.Steps)
+		}
+		return fmt.Sprintf("unsafe: genuine race, %d-step interleaved trace (k=%d, %d rounds)",
+			steps, r.K, r.Rounds)
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = "analysis inconclusive"
+	}
+	return "unknown: " + reason
+}
+
+// Check runs CIRC on thread CFA c, verifying the absence of races on
+// raceVar (a global of c). The context cancels the analysis between
+// iterations and between reachability frontier levels; cancellation
+// surfaces as a non-nil error wrapping ctx.Err().
+func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk smt.Solver) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !c.IsGlobal(raceVar) {
+		return nil, fmt.Errorf("circ: race variable %q is not a global", raceVar)
+	}
+	if chk == nil {
+		chk = smt.NewChecker()
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format, args...)
+		}
+	}
+
+	preds := append([]expr.Expr(nil), opts.InitialPreds...)
+	k := opts.k()
+	rep := &Report{}
+
+	for round := 1; round <= opts.maxRounds(); round++ {
+		rep.Rounds = round
+		set := pred.NewSet(preds...)
+		abs := pred.NewAbstractor(chk, set)
+		logf("== round %d: k=%d preds=%s\n", round, k, set)
+
+		A := acfa.Empty(set)
+		var prevARG *reach.ARG
+		var mu map[int]acfa.Loc
+
+		advanceOuter := false
+		for inner := 1; inner <= opts.maxInner() && !advanceOuter; inner++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("circ: analysis cancelled: %w", err)
+			}
+			res, err := reach.ReachAndBuild(ctx, c, A, abs, raceVar, reach.Options{
+				K:           k,
+				ExactSeed:   opts.Omega,
+				MaxStates:   opts.MaxStates,
+				MaxRaces:    opts.MaxRaces,
+				Parallelism: opts.Parallelism,
+			})
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("circ: analysis cancelled: %w", ctx.Err())
+				}
+				rep.Verdict = Unknown
+				rep.Reason = err.Error()
+				rep.Preds = set.Preds()
+				rep.K = k
+				return rep, nil
+			}
+			info := IterationInfo{
+				Round: round, Inner: inner,
+				NumPreds:  set.Len(),
+				NumStates: res.NumStates,
+				ARGLocs:   len(res.ARG.Roots()),
+				ACFALocs:  A.NumLocs(),
+				RaceFound: len(res.Races) > 0,
+			}
+			logf("-- round %d.%d: states=%d argLocs=%d races=%d\n",
+				round, inner, res.NumStates, info.ARGLocs, len(res.Races))
+
+			if len(res.Races) > 0 {
+				// Analyse counterexamples until one is genuine or the
+				// abstraction can be refined. Different abstract races may
+				// concretise differently, so trying several avoids getting
+				// stuck on a spurious interleaving the predicates cannot
+				// exclude.
+				known := make(map[string]bool, set.Len())
+				for _, p := range set.Preds() {
+					known[p.Key()] = true
+				}
+				var fresh []expr.Expr
+				anyIncK := false
+				var lastTF []expr.Expr
+				var lastErr error
+				for _, trace := range res.Races {
+					out, err := refine.Refine(refine.Input{
+						C: c, A: A, ARG: prevARG, Mu: mu,
+						Trace: trace, RaceVar: raceVar,
+						K: k, ExactSeed: opts.Omega, Chk: chk,
+						Strategy: opts.MineStrategy,
+					})
+					if err != nil {
+						lastErr = err
+						continue
+					}
+					switch out.Kind {
+					case refine.Real:
+						info.RefineOutcome = out.Kind.String()
+						rep.History = append(rep.History, info)
+						logf("   genuine race:\n%s", out.Interleaving)
+						rep.Verdict = Unsafe
+						rep.Race = out.Interleaving
+						rep.Witness = out.Witness
+						rep.TF = out.TF
+						rep.Preds = set.Preds()
+						rep.K = k
+						return rep, nil
+					case refine.IncrementK:
+						anyIncK = true
+					case refine.NewPreds:
+						lastTF = out.TF
+						for _, p := range out.Preds {
+							if !known[p.Key()] {
+								known[p.Key()] = true
+								fresh = append(fresh, p)
+							}
+						}
+					}
+				}
+				switch {
+				case len(fresh) > 0:
+					info.RefineOutcome = "new-predicates"
+					logf("   spurious; new predicates: %v\n", fresh)
+					preds = append(preds, fresh...)
+					rep.TF = lastTF
+					advanceOuter = true
+				case anyIncK:
+					info.RefineOutcome = "increment-k"
+					k++
+					logf("   counter too low; k := %d\n", k)
+					advanceOuter = true
+				default:
+					info.RefineOutcome = "stuck"
+					rep.History = append(rep.History, info)
+					rep.Verdict = Unknown
+					rep.Reason = "spurious counterexamples yielded no new predicates"
+					if lastErr != nil {
+						rep.Reason += " (" + lastErr.Error() + ")"
+					}
+					rep.Preds = set.Preds()
+					rep.K = k
+					rep.TF = lastTF
+					return rep, nil
+				}
+				rep.History = append(rep.History, info)
+				continue
+			}
+
+			// No race reachable: guarantee check (CheckSim).
+			argACFA, _ := res.ARG.ToACFA()
+			if simrel.Simulates(argACFA, A, chk) {
+				rep.History = append(rep.History, info)
+				if opts.Omega {
+					ok, err := goodLocationCheck(c, A, res.ARG, mu, k, chk)
+					if err != nil {
+						rep.Verdict = Unknown
+						rep.Reason = err.Error()
+						rep.Preds = set.Preds()
+						rep.K = k
+						return rep, nil
+					}
+					if !ok {
+						k++
+						logf("   good-location check failed; k := %d\n", k)
+						advanceOuter = true
+						continue
+					}
+				}
+				logf("   context sound: SAFE with %d-location ACFA\n", A.NumLocs())
+				rep.Verdict = Safe
+				rep.FinalACFA = A
+				rep.Preds = set.Preds()
+				rep.K = k
+				return rep, nil
+			}
+			// Weaken the context: A := Collapse(G).
+			if opts.NoMinimize {
+				var locMap map[int]acfa.Loc
+				A, locMap = res.ARG.ToACFA()
+				mu = locMap
+			} else {
+				A, mu = bisim.Collapse(res.ARG, chk)
+			}
+			prevARG = res.ARG
+			info.ACFALocs = A.NumLocs()
+			rep.History = append(rep.History, info)
+			logf("   context unsound; collapsed to %d-location ACFA\n%s", A.NumLocs(), indent(A.String()))
+		}
+		if !advanceOuter {
+			rep.Verdict = Unknown
+			rep.Reason = "inner context-weakening loop did not converge"
+			rep.Preds = preds
+			rep.K = k
+			return rep, nil
+		}
+	}
+	rep.Verdict = Unknown
+	rep.Reason = "refinement budget exhausted"
+	rep.Preds = preds
+	rep.K = k
+	return rep, nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -296,12 +296,12 @@ func TrueRegion(s *Set) *Region {
 
 // Abstractor computes cartesian predicate abstraction using an SMT checker.
 type Abstractor struct {
-	Chk *smt.Checker
+	Chk smt.Solver
 	Set *Set
 }
 
 // NewAbstractor returns an abstractor over the given set.
-func NewAbstractor(chk *smt.Checker, s *Set) *Abstractor {
+func NewAbstractor(chk smt.Solver, s *Set) *Abstractor {
 	return &Abstractor{Chk: chk, Set: s}
 }
 

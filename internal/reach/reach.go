@@ -1,7 +1,9 @@
 package reach
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"circ/internal/acfa"
 	"circ/internal/cfa"
@@ -21,6 +23,12 @@ type Options struct {
 	// MaxRaces caps how many distinct race traces are collected; 0 means
 	// the default (64).
 	MaxRaces int
+	// Parallelism is the number of workers expanding frontier states
+	// concurrently; 0 or 1 runs sequentially. Results are identical at any
+	// parallelism: successors are computed level-parallel but merged in
+	// deterministic BFS order. Parallelism > 1 requires the abstractor's
+	// solver to be safe for concurrent use (smt.CachedChecker).
+	Parallelism int
 }
 
 func (o Options) maxStates() int {
@@ -35,6 +43,13 @@ func (o Options) maxRaces() int {
 		return o.MaxRaces
 	}
 	return 64
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 1 {
+		return o.Parallelism
+	}
+	return 1
 }
 
 // Result is the outcome of ReachAndBuild.
@@ -66,11 +81,60 @@ type parentInfo struct {
 
 // ReachAndBuild explores the abstract multithreaded program ((C,P),(A,k)),
 // checking for races on raceVar, and builds the ARG. abs carries the
-// predicate set P and the SMT checker.
-func ReachAndBuild(C *cfa.CFA, A *acfa.ACFA, abs *pred.Abstractor, raceVar string, opts Options) (*Result, error) {
-	e := &explorer{C: C, A: A, abs: abs, raceVar: raceVar, opts: opts,
-		postCache: make(map[string]*pred.Cube)}
-	return e.run()
+// predicate set P and the SMT solver. The context cancels long runs
+// between frontier levels.
+func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abstractor, raceVar string, opts Options) (*Result, error) {
+	e := &explorer{C: C, A: A, abs: abs, raceVar: raceVar, opts: opts}
+	for i := range e.posts.shards {
+		e.posts.shards[i].m = make(map[string]*pred.Cube)
+	}
+	return e.run(ctx)
+}
+
+// postShardCount shards the abstract-post cache; frontier workers hit it
+// on every expansion, so it is the engine's hottest shared structure after
+// the SMT cache.
+const postShardCount = 32
+
+type postShard struct {
+	mu sync.RWMutex
+	m  map[string]*pred.Cube // nil values record bottom
+}
+
+// postCache memoises abstract posts behind sharded RW mutexes: states
+// sharing a thread state but differing in counters would otherwise
+// recompute identical SMT-heavy posts, and concurrent frontier workers
+// share each other's results. Keyed by thread-state key + edge identity
+// (+ target cube index for env moves).
+type postCache struct {
+	shards [postShardCount]postShard
+}
+
+func (p *postCache) get(key string, compute func() *pred.Cube) *pred.Cube {
+	sh := &p.shards[shardIndex(key)]
+	sh.mu.RLock()
+	c, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	// Compute outside the lock; a concurrent duplicate computes the same
+	// deterministic cube, so last-write-wins is harmless.
+	c = compute()
+	sh.mu.Lock()
+	sh.m[key] = c
+	sh.mu.Unlock()
+	return c
+}
+
+// shardIndex is FNV-1a over the key, reduced to a shard.
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % postShardCount
 }
 
 type explorer struct {
@@ -80,23 +144,20 @@ type explorer struct {
 	raceVar string
 	opts    Options
 
-	// postCache memoises abstract posts: states sharing a thread state but
-	// differing in counters would otherwise recompute identical SMT-heavy
-	// posts. Keyed by thread-state key + edge identity (+ target cube for
-	// env moves); nil entries record bottom.
-	postCache map[string]*pred.Cube
+	posts postCache
 }
 
 func (e *explorer) cachedPost(key string, compute func() *pred.Cube) *pred.Cube {
-	if c, ok := e.postCache[key]; ok {
-		return c
-	}
-	c := compute()
-	e.postCache[key] = c
-	return c
+	return e.posts.get(key, compute)
 }
 
-func (e *explorer) run() (*Result, error) {
+// run is a level-synchronous BFS. Each level's states are expanded by a
+// worker pool (the expansion is pure: abstract posts and SMT queries,
+// no shared mutable state beyond the concurrent caches); the results are
+// then merged sequentially in frontier order, which reproduces the exact
+// dequeue order, race list, ARG, and budget accounting of a sequential
+// FIFO worklist — verdicts are bit-identical at any parallelism.
+func (e *explorer) run(ctx context.Context) (*Result, error) {
 	arg := NewARG(e.C, e.abs.Set)
 
 	allVars := append(append([]string(nil), e.C.Globals...), e.C.Locals...)
@@ -112,55 +173,88 @@ func (e *explorer) run() (*Result, error) {
 
 	seen := make(map[string]*parentInfo)
 	seen[init.Key()] = &parentInfo{state: init}
-	queue := []*State{init}
+	frontier := []*State{init}
 	numStates := 0
 	var races []*Trace
 
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		numStates++
-		if numStates > e.opts.maxStates() {
-			return nil, fmt.Errorf("reach: state budget exceeded (%d states)", e.opts.maxStates())
+levels:
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if e.isRace(s) {
-			races = append(races, e.buildTrace(seen, s))
-			if len(races) >= e.opts.maxRaces() {
-				// Enough counterexamples for this refinement round; the
-				// ARG is partial but unused on the error path.
-				break
+		recs := e.expandLevel(frontier)
+
+		var next []*State
+		for i, s := range frontier {
+			numStates++
+			if numStates > e.opts.maxStates() {
+				return nil, fmt.Errorf("reach: state budget exceeded (%d states)", e.opts.maxStates())
+			}
+			if e.isRace(s) {
+				races = append(races, e.buildTrace(seen, s))
+				if len(races) >= e.opts.maxRaces() {
+					// Enough counterexamples for this refinement round; the
+					// ARG is partial but unused on the error path.
+					break levels
+				}
+			}
+			dedup := make(map[string]bool)
+			for _, rec := range recs[i] {
+				// ARG bookkeeping happens here, in deterministic order, not
+				// in the parallel expansion phase.
+				if rec.op.IsEnv() {
+					arg.ConnectEnv(s.TS, rec.state.TS)
+				} else {
+					arg.ConnectMain(s.TS, rec.op.MainEdge, rec.state.TS)
+				}
+				k := rec.state.Key()
+				if dedup[k] {
+					continue
+				}
+				dedup[k] = true
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = &parentInfo{parentKey: s.Key(), op: rec.op, state: rec.state}
+				next = append(next, rec.state)
 			}
 		}
-		for _, succ := range e.successors(s, arg) {
-			k := succ.state.Key()
-			if _, ok := seen[k]; ok {
-				continue
-			}
-			seen[k] = &parentInfo{parentKey: s.Key(), op: succ.op, state: succ.state}
-			queue = append(queue, succ.state)
-		}
+		frontier = next
 	}
 	return &Result{Races: races, ARG: arg, NumStates: numStates}, nil
 }
 
-func (e *explorer) buildTrace(seen map[string]*parentInfo, last *State) *Trace {
-	var rev []*parentInfo
-	cur := seen[last.Key()]
-	for {
-		rev = append(rev, cur)
-		if cur.parentKey == "" {
-			break
-		}
-		cur = seen[cur.parentKey]
+// expandLevel computes the successor records of every frontier state,
+// fanning the states out over the configured worker pool.
+func (e *explorer) expandLevel(frontier []*State) [][]succRecord {
+	recs := make([][]succRecord, len(frontier))
+	workers := e.opts.parallelism()
+	if workers > len(frontier) {
+		workers = len(frontier)
 	}
-	t := &Trace{}
-	for i := len(rev) - 1; i >= 0; i-- {
-		t.States = append(t.States, rev[i].state)
-		if i > 0 {
-			t.Steps = append(t.Steps, rev[i-1].op)
+	if workers <= 1 {
+		for i, s := range frontier {
+			recs[i] = e.successors(s)
 		}
+		return recs
 	}
-	return t
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				recs[i] = e.successors(frontier[i])
+			}
+		}()
+	}
+	for i := range frontier {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return recs
 }
 
 // atomicOccupancy classifies the scheduling state: which ops are enabled.
@@ -196,22 +290,21 @@ func (e *explorer) atomicOccupancy(s *State) (mainEnabled bool, envLocs []acfa.L
 	}
 }
 
-type successor struct {
+// succRecord is one computed successor, carrying what the merge phase
+// needs to record the ARG transition (op) and enqueue the state.
+type succRecord struct {
 	state *State
 	op    Op
 }
 
-// successors expands a state, recording ARG transitions as it goes.
-func (e *explorer) successors(s *State, arg *ARG) []successor {
-	var out []successor
-	dedup := make(map[string]bool)
+// successors expands a state. It is pure with respect to the explorer —
+// safe to call from concurrent workers — touching only the concurrent
+// post cache and the (concurrency-safe) solver; ARG recording and
+// deduplication happen later in the sequential merge.
+func (e *explorer) successors(s *State) []succRecord {
+	var out []succRecord
 	add := func(st *State, op Op) {
-		k := st.Key()
-		if dedup[k] {
-			return
-		}
-		dedup[k] = true
-		out = append(out, successor{state: st, op: op})
+		out = append(out, succRecord{state: st, op: op})
 	}
 
 	mainEnabled, envLocs := e.atomicOccupancy(s)
@@ -245,7 +338,6 @@ func (e *explorer) successors(s *State, arg *ARG) []successor {
 				continue
 			}
 			ts2 := ThreadState{Loc: edge.Dst, Cube: next}
-			arg.ConnectMain(s.TS, edge, ts2)
 			add(&State{TS: ts2, Ctx: s.Ctx}, Op{MainEdge: edge})
 		}
 	}
@@ -265,12 +357,31 @@ func (e *explorer) successors(s *State, arg *ARG) []successor {
 					continue
 				}
 				ts2 := ThreadState{Loc: s.TS.Loc, Cube: next}
-				arg.ConnectEnv(s.TS, ts2)
 				add(&State{TS: ts2, Ctx: ctx2}, Op{EnvEdge: aedge})
 			}
 		}
 	}
 	return out
+}
+
+func (e *explorer) buildTrace(seen map[string]*parentInfo, last *State) *Trace {
+	var rev []*parentInfo
+	cur := seen[last.Key()]
+	for {
+		rev = append(rev, cur)
+		if cur.parentKey == "" {
+			break
+		}
+		cur = seen[cur.parentKey]
+	}
+	t := &Trace{}
+	for i := len(rev) - 1; i >= 0; i-- {
+		t.States = append(t.States, rev[i].state)
+		if i > 0 {
+			t.Steps = append(t.Steps, rev[i-1].op)
+		}
+	}
+	return t
 }
 
 func itoaInt(v int) string { return fmt.Sprintf("%d", v) }

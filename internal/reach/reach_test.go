@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"context"
 	"testing"
 
 	"circ/internal/acfa"
@@ -72,7 +73,7 @@ thread T {
 	chk := smt.NewChecker()
 	set := pred.NewSet()
 	abs := pred.NewAbstractor(chk, set)
-	res, err := ReachAndBuild(c, acfa.Empty(set), abs, "x", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "x", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ thread T {
 	a.AddEdge(a.Entry, l1, []string{"x"})
 	a.AddEdge(l1, a.Entry, nil)
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "x", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ thread T {
 	a.AddEdge(a.Entry, l1, []string{"x"})
 	a.AddEdge(l1, a.Entry, nil)
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "x", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,8 +156,10 @@ thread T {
 	l1 := a.AddLoc(pred.TrueRegion(set), false)
 	a.AddEdge(a.Entry, l1, []string{"x"})
 	a.Finish()
-	e := &explorer{C: c, A: a, abs: abs, raceVar: "x", opts: Options{K: 1},
-		postCache: make(map[string]*pred.Cube)}
+	e := &explorer{C: c, A: a, abs: abs, raceVar: "x", opts: Options{K: 1}}
+	for i := range e.posts.shards {
+		e.posts.shards[i].m = make(map[string]*pred.Cube)
+	}
 	// Find an atomic main location.
 	var atomicLoc cfa.Loc = -1
 	for l := 0; l < c.NumLocs(); l++ {
@@ -171,9 +174,7 @@ thread T {
 	ctx := make(Ctx, a.NumLocs())
 	ctx[a.Entry] = Omega
 	st := &State{TS: ThreadState{Loc: atomicLoc, Cube: pred.TopCube(set)}, Ctx: ctx}
-	arg := NewARG(c, set)
-	arg.SetEntry(st.TS)
-	for _, s := range e.successors(st, arg) {
+	for _, s := range e.successors(st) {
 		if s.op.IsEnv() {
 			t.Fatalf("environment move fired while main is atomic: %v", s.op)
 		}
@@ -202,7 +203,7 @@ thread T {
 	a.AddEdge(a.Entry, l1, nil)
 	a.AddEdge(l1, a.Entry, []string{"x"})
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 2})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "x", Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ thread T {
 	l1 := a.AddLoc(pred.TrueRegion(set), false)
 	a.AddEdge(a.Entry, l1, []string{"x"})
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 0, ExactSeed: true})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "x", Options{K: 0, ExactSeed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ thread T {
 	a.AddEdge(a.Entry, l1, []string{"g"})
 	a.AddEdge(l1, a.Entry, []string{"g"})
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "g", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "g", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ thread T {
 		expr.Eq(expr.V("g"), expr.Num(0)),
 	)
 	abs := pred.NewAbstractor(chk, set)
-	res, err := ReachAndBuild(c, acfa.Empty(set), abs, "g", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "g", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ thread T {
 	chk := smt.NewChecker()
 	set := pred.NewSet()
 	abs := pred.NewAbstractor(chk, set)
-	_, err := ReachAndBuild(c, acfa.Empty(set), abs, "x", Options{K: 1, MaxStates: 1})
+	_, err := ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "x", Options{K: 1, MaxStates: 1})
 	if err == nil {
 		t.Fatalf("expected budget error")
 	}
@@ -340,7 +341,7 @@ thread T {
 	l1 := a.AddLoc(pred.TrueRegion(set), false)
 	a.AddEdge(a.Entry, l1, []string{"x"})
 	a.Finish()
-	res, err := ReachAndBuild(c, a, abs, "x", Options{K: 1})
+	res, err := ReachAndBuild(context.Background(), c, a, abs, "x", Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

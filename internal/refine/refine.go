@@ -72,7 +72,7 @@ type Input struct {
 	// K context threads exist, bounding thread minting.
 	K         int
 	ExactSeed bool
-	Chk       *smt.Checker
+	Chk       smt.Solver
 	// Strategy selects the predicate-mining method (default MineAtoms).
 	Strategy MineStrategy
 }

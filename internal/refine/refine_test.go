@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -194,12 +195,12 @@ thread Worker {
 	chk := smt.NewChecker()
 	set := pred.NewSet()
 	abs := pred.NewAbstractor(chk, set)
-	res1, err := reach.ReachAndBuild(c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
+	res1, err := reach.ReachAndBuild(context.Background(), c, acfa.Empty(set), abs, "x", reach.Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	a1, mu := bisim.Collapse(res1.ARG, chk)
-	res2, err := reach.ReachAndBuild(c, a1, abs, "x", reach.Options{K: 1})
+	res2, err := reach.ReachAndBuild(context.Background(), c, a1, abs, "x", reach.Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,14 +12,14 @@ import (
 
 // Simulates reports whether a simulates g (g \preceq a): there is a weak
 // simulation relating g's entry to a's entry.
-func Simulates(g, a *acfa.ACFA, chk *smt.Checker) bool {
+func Simulates(g, a *acfa.ACFA, chk smt.Solver) bool {
 	rel := Relation(g, a, chk)
 	return rel[pairKey(g.Entry, a.Entry)]
 }
 
 // Relation computes the largest weak simulation between g and a as a set
 // of related pairs keyed by pairKey.
-func Relation(g, a *acfa.ACFA, chk *smt.Checker) map[string]bool {
+func Relation(g, a *acfa.ACFA, chk smt.Solver) map[string]bool {
 	ng, na := g.NumLocs(), a.NumLocs()
 	rel := make(map[string]bool)
 	// Initialise with the static conditions: label implication and equal

@@ -1,0 +1,147 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"circ/internal/expr"
+)
+
+// numShards is the cache shard count. 64 keeps lock contention negligible
+// for the worker-pool sizes the analysis engine runs with (≤ GOMAXPROCS
+// frontier workers plus one goroutine per (thread, variable) pair) while
+// staying cheap to allocate per process.
+const numShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Result
+}
+
+// CachedChecker is a process-wide memoising SMT layer that is safe for
+// concurrent use. Results are keyed by the canonicalized formula key (the
+// same canonical form Checker caches on), hashed across mutex-guarded
+// shards, with hit/miss counters. One CachedChecker is meant to be shared
+// by every analysis in a process — across frontier workers of one
+// reachability run, across refinement rounds, and across the (thread,
+// variable) pairs of a batch check — so identical predicate-abstraction
+// cubes and validity queries are never re-discharged.
+//
+// Two goroutines racing on the same uncached formula may both solve it;
+// the solver is deterministic, so both compute the same result and the
+// duplicated work is bounded by the race window. This keeps the hot hit
+// path a single RLock with no per-key latching.
+type CachedChecker struct {
+	inner  *Checker // solving core; its private cache is bypassed
+	shards [numShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// CacheStats is a point-in-time view of a CachedChecker's counters.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+	Solver Stats // underlying solve-path work (queries, theory checks)
+}
+
+// HitRate returns the fraction of queries answered from the cache, in
+// [0, 1]; 0 when no queries were issued.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCachedChecker returns a concurrency-safe memoising checker with
+// default budgets.
+func NewCachedChecker() *CachedChecker {
+	c := &CachedChecker{inner: NewChecker()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Result)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cache and solver counters.
+func (c *CachedChecker) Stats() CacheStats {
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Solver: c.inner.Snapshot(),
+	}
+}
+
+// shardIndex is FNV-1a over the canonical key, reduced to a shard.
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % numShards
+}
+
+// Sat reports the satisfiability of formula f, consulting the shared
+// cache first.
+func (c *CachedChecker) Sat(f expr.Expr) Result {
+	f = expr.Simplify(f)
+	key := f.Key()
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.RLock()
+	r, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return r
+	}
+	c.misses.Add(1)
+	r, _ = c.inner.solve(f, false)
+	sh.mu.Lock()
+	sh.m[key] = r
+	sh.mu.Unlock()
+	return r
+}
+
+// SatModel reports satisfiability and, when Sat, an integer model. Models
+// are not cached (only the verdict is), so the query always solves.
+func (c *CachedChecker) SatModel(f expr.Expr) (Result, map[string]int64) {
+	f = expr.Simplify(f)
+	key := f.Key()
+	r, m := c.inner.solve(f, true)
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.Lock()
+	sh.m[key] = r
+	sh.mu.Unlock()
+	return r, m
+}
+
+// Valid reports whether f is valid. Unknown degrades to false ("cannot
+// prove"), the sound direction for abstraction.
+func (c *CachedChecker) Valid(f expr.Expr) bool {
+	return c.Sat(expr.Negate(f)) == Unsat
+}
+
+// Implies reports whether a entails b.
+func (c *CachedChecker) Implies(a, b expr.Expr) bool {
+	return c.Sat(expr.Conj(a, expr.Negate(b))) == Unsat
+}
+
+// Equivalent reports whether a and b are logically equivalent.
+func (c *CachedChecker) Equivalent(a, b expr.Expr) bool {
+	return c.Implies(a, b) && c.Implies(b, a)
+}
+
+// UnsatCore returns the indices of a minimal (irreducible) subset of parts
+// whose conjunction is unsatisfiable.
+func (c *CachedChecker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
+	return unsatCore(c, parts)
+}
+
+// Compile-time interface checks.
+var (
+	_ Solver = (*Checker)(nil)
+	_ Solver = (*CachedChecker)(nil)
+)

@@ -19,6 +19,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"circ/internal/expr"
 	"circ/internal/smt/sat"
@@ -45,7 +46,10 @@ func (r Result) String() string {
 	return "unknown"
 }
 
-// Stats counts solver work, for the benchmark harness.
+// Stats counts solver work, for the benchmark harness. Counters are
+// updated with atomic operations so the underlying solve path can be
+// shared by concurrent goroutines (see CachedChecker); read them through
+// Snapshot when other goroutines may be solving.
 type Stats struct {
 	Queries      int64 // top-level Sat queries (cache misses)
 	CacheHits    int64
@@ -53,8 +57,31 @@ type Stats struct {
 	SatConflicts int64
 }
 
+// Solver is the query interface shared by Checker (single-goroutine,
+// simple memoisation) and CachedChecker (concurrency-safe, sharded
+// memoisation). All analysis layers — predicate abstraction, bisimulation
+// minimisation, simulation checking, refinement — are written against this
+// interface so one process-wide memoising instance can be threaded through
+// an entire batch of analyses.
+type Solver interface {
+	// Sat reports the satisfiability of f.
+	Sat(f expr.Expr) Result
+	// SatModel reports satisfiability and, when Sat, an integer model.
+	SatModel(f expr.Expr) (Result, map[string]int64)
+	// Valid reports whether f is valid (Unknown degrades to false).
+	Valid(f expr.Expr) bool
+	// Implies reports whether a entails b.
+	Implies(a, b expr.Expr) bool
+	// Equivalent reports whether a and b are logically equivalent.
+	Equivalent(a, b expr.Expr) bool
+	// UnsatCore returns a minimal unsatisfiable subset of parts.
+	UnsatCore(parts []expr.Expr) (core []int, ok bool)
+}
+
 // Checker is a memoising SMT front door. The zero value is not usable;
-// call NewChecker. A Checker is not safe for concurrent use.
+// call NewChecker. A Checker's cache is not safe for concurrent use; for
+// concurrent callers use CachedChecker, which shares the same solving core
+// behind a sharded concurrent cache.
 type Checker struct {
 	cache map[string]Result
 	// Budgets; zero selects a sensible default.
@@ -74,12 +101,23 @@ func NewChecker() *Checker {
 	}
 }
 
+// Snapshot returns an atomically-read copy of the stats, safe to call
+// while other goroutines are solving.
+func (c *Checker) Snapshot() Stats {
+	return Stats{
+		Queries:      atomic.LoadInt64(&c.Stats.Queries),
+		CacheHits:    atomic.LoadInt64(&c.Stats.CacheHits),
+		TheoryChecks: atomic.LoadInt64(&c.Stats.TheoryChecks),
+		SatConflicts: atomic.LoadInt64(&c.Stats.SatConflicts),
+	}
+}
+
 // Sat reports the satisfiability of formula f.
 func (c *Checker) Sat(f expr.Expr) Result {
 	f = expr.Simplify(f)
 	key := f.Key()
 	if r, ok := c.cache[key]; ok {
-		c.Stats.CacheHits++
+		atomic.AddInt64(&c.Stats.CacheHits, 1)
 		return r
 	}
 	r, _ := c.solve(f, false)
@@ -115,6 +153,12 @@ func (c *Checker) Equivalent(a, b expr.Expr) bool {
 // whose conjunction is unsatisfiable. ok is false when the conjunction is
 // satisfiable or unknown.
 func (c *Checker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
+	return unsatCore(c, parts)
+}
+
+// unsatCore is the deletion-based core minimisation, shared by Checker and
+// CachedChecker (both route the Sat queries through their own caches).
+func unsatCore(s Solver, parts []expr.Expr) (core []int, ok bool) {
 	all := make([]int, len(parts))
 	for i := range parts {
 		all[i] = i
@@ -126,7 +170,7 @@ func (c *Checker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
 		}
 		return expr.Conj(fs...)
 	}
-	if c.Sat(conj(all)) != Unsat {
+	if s.Sat(conj(all)) != Unsat {
 		return nil, false
 	}
 	// Deletion-based minimisation.
@@ -135,7 +179,7 @@ func (c *Checker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
 		trial := make([]int, 0, len(cur)-1)
 		trial = append(trial, cur[:i]...)
 		trial = append(trial, cur[i+1:]...)
-		if c.Sat(conj(trial)) == Unsat {
+		if s.Sat(conj(trial)) == Unsat {
 			cur = trial
 		} else {
 			i++
@@ -341,7 +385,7 @@ func (q *query) ackermannLemmas() []expr.Expr {
 
 // solve runs the lazy DPLL(T) loop.
 func (c *Checker) solve(f expr.Expr, wantModel bool) (Result, map[string]int64) {
-	c.Stats.Queries++
+	atomic.AddInt64(&c.Stats.Queries, 1)
 	switch g := f.(type) {
 	case expr.Bool:
 		if g.Value {
@@ -438,7 +482,7 @@ func (c *Checker) minimizeConflict(lits []assertedAtom) []assertedAtom {
 // theoryCheck decides the conjunction of asserted atoms over the integers.
 // On feasibility it returns an integer model for the structural variables.
 func (c *Checker) theoryCheck(lits []assertedAtom) (simplex.Result, map[string]int64) {
-	c.Stats.TheoryChecks++
+	atomic.AddInt64(&c.Stats.TheoryChecks, 1)
 	type diseq struct {
 		slack int
 		rhs   *big.Rat
