@@ -10,6 +10,7 @@ import (
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Target names one (thread, variable) analysis unit of a batch run.
@@ -41,6 +42,10 @@ type BatchReport struct {
 	Elapsed time.Duration
 	// SMT snapshots the shared SMT cache counters after the run.
 	SMT smt.CacheStats
+	// Metrics snapshots the batch's telemetry counters: the merged
+	// per-unit engine metrics plus batch.units, batch.workers, and
+	// batch.busy_nanos (summed worker busy time, for utilisation).
+	Metrics Metrics
 }
 
 // Racy returns the results whose verdict is Unsafe.
@@ -138,10 +143,24 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 	}
 	// Interleaved narration from concurrent units would be unreadable;
 	// only pass the log through when a single analysis runs at a time.
-	log := c.log
+	logger := c.logger
 	if workers > 1 && len(targets) > 1 {
-		log = nil
+		logger = nil
 	}
+
+	// Batch-level telemetry: a child registry keeps this run's counters
+	// attributable (and mergeable into the Checker's process-wide view),
+	// and a root span groups the per-unit spans in the trace.
+	breg := telemetry.ChildOf(c.registry)
+	breg.Gauge("batch.workers").Set(int64(workers))
+	cUnits := breg.Counter("batch.units")
+	cBusy := breg.Counter("batch.busy_nanos")
+	if c.tracer != nil {
+		ctx = telemetry.NewContext(ctx, c.tracer)
+	}
+	bctx, bsp := telemetry.StartSpan(ctx, "batch")
+	bsp.Annotate("units", len(targets))
+	bsp.Annotate("workers", workers)
 
 	start := time.Now()
 	results := make([]TargetReport, len(targets))
@@ -154,16 +173,24 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 			for i := range idx {
 				t := targets[i]
 				unitStart := time.Now()
+				uctx, usp := telemetry.StartSpan(bctx, "unit")
+				usp.Annotate("target", t.String())
 				var rep *Report
 				err := prebuildErr[i]
 				if err == nil {
 					if cerr := ctx.Err(); cerr != nil {
 						err = cerr
 					} else {
-						rep, err = icirc.Check(ctx, cfas[i], t.Variable, c.options(log, inner), c.solver)
+						o := c.options(logger, inner)
+						o.Metrics = breg
+						rep, err = icirc.Check(uctx, cfas[i], t.Variable, o, c.solver)
 					}
 				}
-				results[i] = TargetReport{Target: t, Report: rep, Err: err, Elapsed: time.Since(unitStart)}
+				usp.End()
+				elapsed := time.Since(unitStart)
+				cUnits.Inc()
+				cBusy.Add(elapsed.Nanoseconds())
+				results[i] = TargetReport{Target: t, Report: rep, Err: err, Elapsed: elapsed}
 			}
 		}()
 	}
@@ -172,8 +199,14 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 	}
 	close(idx)
 	wg.Wait()
+	bsp.End()
 
-	b := &BatchReport{Results: results, Elapsed: time.Since(start), SMT: c.solver.Stats()}
+	b := &BatchReport{
+		Results: results,
+		Elapsed: time.Since(start),
+		SMT:     c.solver.Stats(),
+		Metrics: breg.Snapshot(),
+	}
 	return b, ctx.Err()
 }
 

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"strings"
 
@@ -52,6 +53,7 @@ import (
 	"circ/internal/param"
 	"circ/internal/refine"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Verdict is the analysis outcome. Its String method renders "safe",
@@ -87,6 +89,28 @@ const (
 	ObligationAssume    = icirc.ObligationAssume
 	ObligationGuarantee = icirc.ObligationGuarantee
 )
+
+// Telemetry surface (implemented in internal/telemetry).
+//
+// Metrics is the serializable snapshot embedded in Report and BatchReport;
+// Tracer records hierarchical spans exportable as Chrome trace_event JSON
+// (chrome://tracing / Perfetto); MetricsRegistry is the live registry of
+// named counters, gauges, and duration histograms behind every snapshot.
+type (
+	// Metrics is a point-in-time metrics snapshot.
+	Metrics = telemetry.Metrics
+	// Tracer records spans; attach one with WithTracer and export with
+	// Tracer.Export / Tracer.ExportFile after the analysis.
+	Tracer = telemetry.Tracer
+	// Span is one timed region of a trace.
+	Span = telemetry.Span
+	// MetricsRegistry aggregates live counters; obtain the Checker's with
+	// Checker.Metrics, publish it with MetricsRegistry.PublishExpvar.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewTracer returns a span tracer whose timebase starts now.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
 
 // Sentinel errors, matchable with errors.Is.
 var (
@@ -164,7 +188,9 @@ func (p *Program) checkThread(thread string) error {
 type Checker struct {
 	k           int
 	omega       bool
-	log         io.Writer
+	logger      *slog.Logger
+	tracer      *telemetry.Tracer
+	registry    *telemetry.Registry
 	parallelism int
 	maxRounds   int
 	maxInner    int
@@ -182,10 +208,34 @@ func WithK(k int) Option { return func(c *Checker) { c.k = k } }
 // reachability plus the good-location generalisation check.
 func WithOmega(omega bool) Option { return func(c *Checker) { c.omega = omega } }
 
-// WithLog directs a narration of every iteration to w. In batch runs the
-// narration is only emitted when a single analysis runs at a time
-// (parallelism 1 or a single target), to keep it readable.
-func WithLog(w io.Writer) Option { return func(c *Checker) { c.log = w } }
+// WithLog directs a narration of every iteration to w, rendered as plain
+// text. It is a compatibility shim over WithLogger: the narration is
+// emitted through a slog handler that formats records as the classic
+// line-oriented log. In batch runs the narration is only emitted when a
+// single analysis runs at a time (parallelism 1 or a single target), to
+// keep it readable.
+func WithLog(w io.Writer) Option {
+	return func(c *Checker) { c.logger = telemetry.NarrationLogger(w) }
+}
+
+// WithLogger directs the per-iteration narration to a structured slog
+// handler (nil disables logging). Use telemetry's NarrationLogger — or
+// WithLog — for the classic plain-text rendering.
+func WithLogger(h slog.Handler) Option {
+	return func(c *Checker) {
+		if h == nil {
+			c.logger = nil
+			return
+		}
+		c.logger = slog.New(h)
+	}
+}
+
+// WithTracer records a hierarchical span trace of every analysis run
+// through the Checker into tr. Export it afterwards with Tracer.Export or
+// Tracer.ExportFile as Chrome trace_event JSON (open in chrome://tracing
+// or Perfetto). A nil tracer (the default) costs nothing on the hot path.
+func WithTracer(tr *Tracer) Option { return func(c *Checker) { c.tracer = tr } }
 
 // WithParallelism bounds the worker pool: frontier states of one
 // reachability run and (thread, variable) pairs of a batch run are
@@ -204,13 +254,17 @@ func WithBudgets(maxRounds, maxInner, maxStates int) Option {
 
 // NewChecker returns a Checker with the given options applied.
 func NewChecker(opts ...Option) *Checker {
-	c := &Checker{solver: smt.NewCachedChecker()}
+	c := &Checker{
+		solver:   smt.NewCachedChecker(),
+		registry: telemetry.NewRegistry(),
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	if c.parallelism <= 0 {
 		c.parallelism = runtime.GOMAXPROCS(0)
 	}
+	c.solver.Instrument(c.registry, c.tracer)
 	return c
 }
 
@@ -218,12 +272,19 @@ func NewChecker(opts ...Option) *Checker {
 // misses, and underlying solver work.
 func (c *Checker) SMTStats() smt.CacheStats { return c.solver.Stats() }
 
+// Metrics returns the Checker's live metrics registry, aggregating the
+// counters of every analysis run through it. Snapshot it with
+// MetricsRegistry.Snapshot, or publish it with PublishExpvar; per-analysis
+// snapshots are embedded in each Report.
+func (c *Checker) Metrics() *MetricsRegistry { return c.registry }
+
 // options assembles the internal engine options for one analysis.
-func (c *Checker) options(log io.Writer, parallelism int) icirc.Options {
+func (c *Checker) options(logger *slog.Logger, parallelism int) icirc.Options {
 	return icirc.Options{
 		K:           c.k,
 		Omega:       c.omega,
-		Log:         log,
+		Logger:      logger,
+		Metrics:     c.registry,
 		MaxRounds:   c.maxRounds,
 		MaxInner:    c.maxInner,
 		MaxStates:   c.maxStates,
@@ -246,7 +307,10 @@ func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string
 	if err != nil {
 		return nil, err
 	}
-	return icirc.Check(ctx, g, variable, c.options(c.log, c.parallelism), c.solver)
+	if c.tracer != nil {
+		ctx = telemetry.NewContext(ctx, c.tracer)
+	}
+	return icirc.Check(ctx, g, variable, c.options(c.logger, c.parallelism), c.solver)
 }
 
 // CheckSource is Check for unparsed source text.
@@ -279,6 +343,9 @@ func (c *Checker) VerifyCertificate(ctx context.Context, p *Program, thread, var
 	g, err := p.CFA(thread)
 	if err != nil {
 		return err
+	}
+	if c.tracer != nil {
+		ctx = telemetry.NewContext(ctx, c.tracer)
 	}
 	return icirc.VerifyCertificate(ctx, g, variable, rep.FinalACFA, rep.Preds, rep.K, c.solver)
 }

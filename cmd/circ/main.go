@@ -6,15 +6,23 @@
 //
 //	circ -var x [-thread T] [-omega] [-k N] [-parallel N] [-v] [-baselines] prog.mn
 //
+// Observability flags: -trace out.json writes a Chrome trace_event span
+// trace (open in chrome://tracing or Perfetto), -metrics out.json writes a
+// metrics-registry snapshot, and -pprof addr serves net/http/pprof plus
+// expvar (live metrics at /debug/vars) for the duration of the run.
+//
 // Exit status: 0 when race freedom is proved, 1 when a genuine race is
 // found, 2 on "unknown", 3 on usage or input errors.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -50,6 +58,9 @@ func run(args []string) int {
 		all       = fs.Bool("all", false, "check every global variable (ignores -var)")
 		dotOut    = fs.String("dot", "", "write the thread CFA and (on safe) the inferred context ACFA as dot files with this prefix")
 		verify    = fs.Bool("verify", false, "independently re-check a safe verdict's certificate (Algorithm Check)")
+		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
+		metrics   = fs.String("metrics", "", "write a JSON metrics-registry snapshot to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: circ -var x [flags] prog.mn\n")
@@ -77,9 +88,23 @@ func run(args []string) int {
 	if *verbose {
 		opts = append(opts, circ.WithLog(os.Stderr))
 	}
+	var tracer *circ.Tracer
+	if *traceOut != "" {
+		tracer = circ.NewTracer()
+		opts = append(opts, circ.WithTracer(tracer))
+	}
 	// One checker for the whole invocation: with -all, SMT answers
 	// discharged for one variable are reused for the next.
 	chk := circ.NewChecker(opts...)
+	if *pprofAddr != "" {
+		chk.Metrics().PublishExpvar("circ")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "circ: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar server on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	vars := []string{*varName}
 	if *all {
 		vars = prog.Globals()
@@ -90,6 +115,25 @@ func run(args []string) int {
 		if code > worst {
 			worst = code
 		}
+	}
+	if *traceOut != "" {
+		if err := tracer.ExportFile(*traceOut); err != nil {
+			cliErr(err)
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *traceOut, tracer.NumSpans())
+	}
+	if *metrics != "" {
+		data, err := json.MarshalIndent(chk.Metrics().Snapshot(), "", "  ")
+		if err != nil {
+			cliErr(err)
+			return 3
+		}
+		if err := os.WriteFile(*metrics, append(data, '\n'), 0o644); err != nil {
+			cliErr(err)
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metrics)
 	}
 	return worst
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -92,5 +93,94 @@ func TestRunBaselines(t *testing.T) {
 	path := writeProg(t, safeSrc)
 	if code := run([]string{"-var", "x", "-baselines", path}); code != 0 {
 		t.Fatalf("exit = %d", code)
+	}
+}
+
+// TestRunTraceOutput checks that -trace writes valid Chrome trace_event
+// JSON whose spans cover the analysis: complete events ("ph":"X") with
+// timestamps and durations, including the top-level circ.check span.
+func TestRunTraceOutput(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	if code := run([]string{"-var", "x", "-trace", traceFile, path}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	var checkDur float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q: ph = %q, want complete event %q", ev.Name, ev.Ph, "X")
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("event %q: negative ts/dur (%v/%v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		names[ev.Name] = true
+		if ev.Name == "circ.check" {
+			checkDur += ev.Dur
+		}
+	}
+	for _, want := range []string{"circ.check", "iteration", "reach", "collapse"} {
+		if !names[want] {
+			t.Fatalf("trace is missing a %q span; have %v", want, names)
+		}
+	}
+	// The root span must cover (nearly all of) the analysis: every other
+	// span nests inside circ.check, so no recorded work may exceed it.
+	var total float64
+	for _, ev := range doc.TraceEvents {
+		if total < ev.Ts+ev.Dur {
+			total = ev.Ts + ev.Dur
+		}
+	}
+	if checkDur == 0 || total == 0 {
+		t.Fatal("no measurable span durations")
+	}
+}
+
+// TestRunMetricsOutput checks that -metrics writes a JSON snapshot with
+// the engine's core counters.
+func TestRunMetricsOutput(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	metricsFile := filepath.Join(t.TempDir(), "metrics.json")
+	if code := run([]string{"-var", "x", "-metrics", metricsFile, path}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	data, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	for _, want := range []string{"circ.iterations", "reach.states", "bisim.collapses"} {
+		if snap.Counters[want] == 0 {
+			t.Fatalf("counter %q missing or zero in snapshot: %v", want, snap.Counters)
+		}
+	}
+	if snap.Gauges["smt.queries"] == 0 {
+		t.Fatalf("gauge smt.queries missing or zero: %v", snap.Gauges)
 	}
 }

@@ -9,7 +9,9 @@
 //
 // With no flags, the four paper artifacts run in order (-bench is opt-in).
 // -parallel N sets the analysis worker pool (0: GOMAXPROCS); every phase
-// reports wall-clock time and SMT cache hit rates.
+// reports wall-clock time and SMT cache hit rates. -trace, -metrics, and
+// -pprof expose the telemetry layer: a Chrome trace_event span trace, a
+// metrics-registry snapshot, and a net/http/pprof + expvar debug server.
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,17 +37,29 @@ import (
 	"circ/internal/lang"
 	"circ/internal/lockset"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 var (
 	parallel   = flag.Int("parallel", 0, "analysis worker pool size (0: GOMAXPROCS)")
 	benchOut   = flag.String("benchout", "BENCH_parallel.json", "output path for the -bench report")
 	programDir = flag.String("programs", "examples/programs", "directory of .mn programs to include in -bench (skipped when missing)")
+	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
+	metricsOut = flag.String("metrics", "", "write a JSON metrics-registry snapshot to this file")
+	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 )
 
 // chk is the process-wide SMT layer: every phase shares it, so the
 // per-phase hit rates below show cross-phase reuse too.
 var chk = smt.NewCachedChecker()
+
+// reg aggregates every phase's engine metrics; tracer is non-nil only
+// under -trace, and baseCtx carries it to the analyses.
+var (
+	reg     = telemetry.NewRegistry()
+	tracer  *telemetry.Tracer
+	baseCtx = context.Background()
+)
 
 func parallelism() int {
 	if *parallel > 0 {
@@ -61,6 +77,20 @@ func main() {
 		bench   = flag.Bool("bench", false, "run the parallel-engine benchmark and write "+*benchOut)
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+		baseCtx = telemetry.NewContext(baseCtx, tracer)
+	}
+	if *pprofAddr != "" {
+		reg.PublishExpvar("circ")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "circbench: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof+expvar server on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	chk.Instrument(reg, tracer)
 	all := !*table1 && !*races && !*compare && !*figures && !*bench
 	if *table1 || all {
 		phase("table1", runTable1)
@@ -77,15 +107,41 @@ func main() {
 	if *bench {
 		phase("bench", runBench)
 	}
+	if *traceOut != "" {
+		if err := tracer.ExportFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "circbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d spans; open in chrome://tracing or Perfetto)\n", *traceOut, tracer.NumSpans())
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "circbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
 }
 
-// phase runs fn and reports its wall-clock time and the SMT cache work it
-// caused (deltas against the shared process-wide cache).
+// phase runs fn under a span, records its wall-clock time into the metrics
+// registry (counter "phase.<name>.wall_nanos"), and reports the registry's
+// reading plus the SMT cache work the phase caused (deltas against the
+// shared process-wide cache).
 func phase(name string, fn func()) {
 	before := chk.Stats()
+	wall := reg.Counter("phase." + name + ".wall_nanos")
+	ctx, sp := telemetry.StartSpan(baseCtx, "phase."+name)
 	start := time.Now()
+	phaseCtx = ctx
 	fn()
-	elapsed := time.Since(start)
+	phaseCtx = baseCtx
+	wall.Add(time.Since(start).Nanoseconds())
+	sp.End()
 	after := chk.Stats()
 	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
 	rate := 0.0
@@ -93,8 +149,12 @@ func phase(name string, fn func()) {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	fmt.Printf("[phase %s] wall %s, smt hits %d, misses %d, hit rate %.1f%%\n\n",
-		name, elapsed.Round(time.Millisecond), hits, misses, 100*rate)
+		name, time.Duration(wall.Value()).Round(time.Millisecond), hits, misses, 100*rate)
 }
+
+// phaseCtx carries the current phase's span so per-app analyses nest under
+// it in the trace. Phases run sequentially, so a plain variable suffices.
+var phaseCtx = context.Background()
 
 func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 	_, c, err := app.Build()
@@ -103,8 +163,8 @@ func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 		os.Exit(1)
 	}
 	start := time.Now()
-	rep, err := icirc.Check(context.Background(), c, app.Variable,
-		icirc.Options{Parallelism: parallelism()}, chk)
+	rep, err := icirc.Check(phaseCtx, c, app.Variable,
+		icirc.Options{Parallelism: parallelism(), Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -210,7 +270,8 @@ func runFigures() {
 	fmt.Println("-- Figure 1(b): the thread's CFA --")
 	fmt.Print(c)
 	fmt.Println("-- Figures 2-4: CIRC iterations (ARGs, minimised ACFAs, refinements) --")
-	rep, err := icirc.Check(context.Background(), c, "x", icirc.Options{Log: os.Stdout}, chk)
+	rep, err := icirc.Check(phaseCtx, c, "x",
+		icirc.Options{Logger: telemetry.NarrationLogger(os.Stdout), Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -257,6 +318,10 @@ type benchReport struct {
 	TotalSeqMs  float64    `json:"total_seq_ms"`
 	TotalParMs  float64    `json:"total_par_ms"`
 	Speedup     float64    `json:"speedup"`
+	// Metrics is the merged telemetry snapshot of every parallel run:
+	// engine counters (reach.*, bisim.*, refine.*, smt.*) summed across
+	// benchmark cases.
+	Metrics telemetry.Metrics `json:"metrics"`
 }
 
 func benchCases() []benchCase {
@@ -293,7 +358,8 @@ func benchCases() []benchCase {
 // (fresh SMT cache, so sequential and parallel runs measure the same
 // work).
 func runOnce(src string, par int) (*circ.BatchReport, error) {
-	return circ.CheckAllRaces(context.Background(), src, circ.WithParallelism(par))
+	return circ.CheckAllRaces(context.Background(), src,
+		circ.WithParallelism(par), circ.WithTracer(tracer))
 }
 
 func runBench() {
@@ -301,6 +367,10 @@ func runBench() {
 	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
 	fmt.Printf("%-28s %7s %9s %9s %8s %9s\n", "benchmark", "targets", "seq", "par", "speedup", "hit-rate")
 	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
+	// Each runOnce uses a fresh checker (and so a fresh registry); merge
+	// the per-run snapshots into a bench-level child of the process
+	// registry so BENCH_parallel.json carries the aggregate.
+	breg := telemetry.ChildOf(reg)
 	for _, bc := range benchCases() {
 		seq, err := runOnce(bc.Source, 1)
 		if err != nil {
@@ -341,6 +411,7 @@ func runBench() {
 		if row.ParMillis > 0 {
 			row.Speedup = row.SeqMillis / row.ParMillis
 		}
+		breg.Merge(parRep.Metrics)
 		report.Rows = append(report.Rows, row)
 		report.TotalSeqMs += row.SeqMillis
 		report.TotalParMs += row.ParMillis
@@ -354,6 +425,7 @@ func runBench() {
 	if report.TotalParMs > 0 {
 		report.Speedup = report.TotalSeqMs / report.TotalParMs
 	}
+	report.Metrics = breg.Snapshot()
 	fmt.Printf("%-28s %7s %8.0fms %8.0fms %7.2fx\n", "TOTAL", "", report.TotalSeqMs, report.TotalParMs, report.Speedup)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

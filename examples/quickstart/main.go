@@ -1,8 +1,10 @@
 // Quickstart: prove race freedom of the paper's Figure 1 test-and-set
 // program with one call, then break it and get a concrete race trace.
+// Every Report embeds a telemetry snapshot; the end of main prints it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,8 +41,11 @@ thread Worker {
 `
 
 func main() {
+	ctx := context.Background()
+	chk := circ.NewChecker()
+
 	// Prove the absence of races on x for arbitrarily many Worker threads.
-	rep, err := circ.CheckRace(safeSrc, circ.CheckOptions{Variable: "x"})
+	rep, err := chk.CheckSource(ctx, safeSrc, "", "x")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,10 +55,15 @@ func main() {
 		rep.FinalACFA.NumLocs(), rep.K)
 
 	// The unprotected variant yields a genuine interleaved race trace.
-	rep, err = circ.CheckRace(racySrc, circ.CheckOptions{Variable: "x"})
+	rep, err = chk.CheckSource(ctx, racySrc, "", "x")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("unprotected:  %s\n", rep.Verdict)
 	fmt.Printf("  interleaved trace (T0 = main thread):\n%s", rep.Race)
+
+	// Every Report embeds its own metrics snapshot, and the Checker's
+	// registry aggregates across both analyses above.
+	fmt.Printf("\nmetrics for the second analysis:\n%s", rep.Metrics.String())
+	fmt.Printf("\nprocess-wide totals:\n%s", chk.Metrics().Snapshot().String())
 }

@@ -84,6 +84,9 @@ func TestAppModel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("app model is slow")
 	}
+	if raceDetectorEnabled {
+		t.Skip("app model exceeds the test timeout under the race detector")
+	}
 	app := App{Name: "appmodel", Variable: "", Source: AppModel}
 	_, c, err := app.Build()
 	if err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package benchapps
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package benchapps
+
+// raceDetectorEnabled reports whether this binary was built with -race;
+// the whole-application sweep is skipped under the detector's ~10-20x
+// slowdown (it would exceed go test's default timeout).
+const raceDetectorEnabled = true

@@ -8,6 +8,7 @@ import (
 
 	"circ/internal/circ"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 func TestDebugGTxState(t *testing.T) {
@@ -17,7 +18,8 @@ func TestDebugGTxState(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Println(c)
-	rep, err := circ.Check(context.Background(), c, "gTxState", circ.Options{Log: os.Stdout}, smt.NewChecker())
+	rep, err := circ.Check(context.Background(), c, "gTxState",
+		circ.Options{Logger: telemetry.NarrationLogger(os.Stdout)}, smt.NewChecker())
 	if err != nil {
 		t.Fatal(err)
 	}

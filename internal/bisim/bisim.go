@@ -8,23 +8,32 @@ package bisim
 
 import (
 	"sort"
+	"time"
 
 	"circ/internal/acfa"
 	"circ/internal/pred"
 	"circ/internal/reach"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Collapse minimises the ARG g into an ACFA context model. It returns the
 // quotient automaton and mu, the map from canonical ARG location ids to
 // quotient locations (needed by the refiner to concretise abstract paths).
-func Collapse(g *reach.ARG, chk smt.Solver) (*acfa.ACFA, map[int]acfa.Loc) {
+// reg, which may be nil, receives the quotient's size and duration
+// metrics.
+func Collapse(g *reach.ARG, chk smt.Solver, reg *telemetry.Registry) (*acfa.ACFA, map[int]acfa.Loc) {
+	start := time.Now()
 	argA, locMap := g.ToACFA()
 	quot, classOf := Quotient(argA, chk)
 	mu := make(map[int]acfa.Loc, len(locMap))
 	for root, l := range locMap {
 		mu[root] = classOf[l]
 	}
+	reg.Counter("bisim.collapses").Inc()
+	reg.Counter("bisim.locs.in").Add(int64(argA.NumLocs()))
+	reg.Counter("bisim.locs.out").Add(int64(quot.NumLocs()))
+	reg.Histogram("bisim.collapse").Since(start)
 	return quot, mu
 }
 

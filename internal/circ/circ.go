@@ -18,7 +18,7 @@ package circ
 import (
 	"context"
 	"fmt"
-	"io"
+	"log/slog"
 
 	"circ/internal/acfa"
 	"circ/internal/bisim"
@@ -29,6 +29,7 @@ import (
 	"circ/internal/refine"
 	"circ/internal/simrel"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Verdict is the analysis outcome.
@@ -66,9 +67,14 @@ type Options struct {
 	MaxInner int
 	// MaxStates bounds each reachability run.
 	MaxStates int
-	// Log, when non-nil, receives a detailed narration of every iteration
-	// (the Figures 2-5 reproduction).
-	Log io.Writer
+	// Logger, when non-nil, receives a structured narration of every
+	// iteration (the Figures 2-5 reproduction). Wrap an io.Writer with
+	// telemetry.NarrationLogger for the classic text rendering.
+	Logger *slog.Logger
+	// Metrics, when non-nil, aggregates this analysis's counters into a
+	// harness- or process-wide registry; the analysis additionally keeps a
+	// per-run child registry whose snapshot lands in Report.Metrics.
+	Metrics *telemetry.Registry
 	// MineStrategy selects how predicates are discovered from spurious
 	// counterexamples (default: unsat-core atoms).
 	MineStrategy refine.MineStrategy
@@ -140,10 +146,16 @@ type Report struct {
 	// Rounds counts outer iterations; History records every inner one.
 	Rounds  int
 	History []IterationInfo
+	// Metrics snapshots this analysis's telemetry registry at the end of
+	// the run: iteration/refinement counters, reachability statistics, and
+	// the SMT cache state ("smt.cache.hits"/"smt.cache.misses" gauges),
+	// so the report is self-describing without a live checker.
+	Metrics telemetry.Metrics
 }
 
 // Summary renders the report as a one-line human-readable verdict with
-// its headline evidence.
+// its headline evidence, including the iteration count and SMT cache hit
+// rate from the embedded Metrics snapshot (no live checker needed).
 func (r *Report) Summary() string {
 	switch r.Verdict {
 	case Safe:
@@ -151,15 +163,15 @@ func (r *Report) Summary() string {
 		if r.FinalACFA != nil {
 			locs = r.FinalACFA.NumLocs()
 		}
-		return fmt.Sprintf("safe: race freedom proved (%d predicates, %d-location context, k=%d, %d rounds)",
-			len(r.Preds), locs, r.K, r.Rounds)
+		return fmt.Sprintf("safe: race freedom proved (%d predicates, %d-location context, k=%d, %d rounds%s)",
+			len(r.Preds), locs, r.K, r.Rounds, r.metricsSuffix())
 	case Unsafe:
 		steps := 0
 		if r.Race != nil {
 			steps = len(r.Race.Steps)
 		}
-		return fmt.Sprintf("unsafe: genuine race, %d-step interleaved trace (k=%d, %d rounds)",
-			steps, r.K, r.Rounds)
+		return fmt.Sprintf("unsafe: genuine race, %d-step interleaved trace (k=%d, %d rounds%s)",
+			steps, r.K, r.Rounds, r.metricsSuffix())
 	}
 	reason := r.Reason
 	if reason == "" {
@@ -168,23 +180,71 @@ func (r *Report) Summary() string {
 	return "unknown: " + reason
 }
 
+// metricsSuffix renders the Metrics-sourced part of Summary; empty when
+// the report carries no snapshot (hand-built reports, old callers).
+func (r *Report) metricsSuffix() string {
+	iters := r.Metrics.Counter("circ.iterations")
+	hits := r.Metrics.Gauge("smt.cache.hits")
+	misses := r.Metrics.Gauge("smt.cache.misses")
+	if iters == 0 && hits+misses == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d iterations, smt hit rate %.1f%%", iters, 100*r.Metrics.SMTHitRate())
+}
+
 // Check runs CIRC on thread CFA c, verifying the absence of races on
 // raceVar (a global of c). The context cancels the analysis between
 // iterations and between reachability frontier levels; cancellation
 // surfaces as a non-nil error wrapping ctx.Err().
+//
+// Check wraps the core loop with the per-analysis telemetry: a
+// "circ.check" root span (when ctx carries a telemetry.Tracer), a child
+// metrics registry aggregating into opts.Metrics when one is set, and the
+// Report.Metrics snapshot, which also records the solver's cumulative
+// cache counters when chk exposes them.
 func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk smt.Solver) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	unit := telemetry.ChildOf(opts.Metrics)
+	opts.Metrics = unit
+	ctx, sp := telemetry.StartSpan(ctx, "circ.check")
+	sp.Annotate("variable", raceVar)
+	rep, err := check(ctx, c, raceVar, opts, chk)
+	if rep != nil {
+		unit.Gauge("circ.k").Set(int64(rep.K))
+		unit.Gauge("circ.preds").Set(int64(len(rep.Preds)))
+		if sc, ok := chk.(interface{ Stats() smt.CacheStats }); ok {
+			st := sc.Stats()
+			unit.Gauge("smt.cache.hits").Set(st.Hits)
+			unit.Gauge("smt.cache.misses").Set(st.Misses)
+			unit.Gauge("smt.queries").Set(st.Solver.Queries)
+		}
+		rep.Metrics = unit.Snapshot()
+		sp.Annotate("verdict", rep.Verdict.String())
+	}
+	sp.End()
+	return rep, err
+}
+
+// check is the core CIRC loop (Algorithm 5): context weakening inside,
+// abstraction refinement outside.
+func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk smt.Solver) (*Report, error) {
 	if !c.IsGlobal(raceVar) {
 		return nil, fmt.Errorf("circ: race variable %q is not a global", raceVar)
 	}
 	if chk == nil {
 		chk = smt.NewChecker()
 	}
-	logf := func(format string, args ...any) {
-		if opts.Log != nil {
-			fmt.Fprintf(opts.Log, format, args...)
+	log := opts.Logger
+	cIters := opts.Metrics.Counter("circ.iterations")
+	cRounds := opts.Metrics.Counter("circ.rounds")
+	cKInc := opts.Metrics.Counter("circ.k.increments")
+	cPredsFound := opts.Metrics.Counter("circ.preds.discovered")
+
+	logInfo := func(msg string, args ...any) {
+		if log != nil {
+			log.Info(msg, args...)
 		}
 	}
 
@@ -192,11 +252,18 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 	k := opts.k()
 	rep := &Report{}
 
+	// curSpan is the open per-iteration span; the deferred End covers the
+	// early-return paths (End is idempotent, and a nil span ignores it).
+	var curSpan *telemetry.Span
+	defer func() { curSpan.End() }()
+
 	for round := 1; round <= opts.maxRounds(); round++ {
 		rep.Rounds = round
+		cRounds.Inc()
 		set := pred.NewSet(preds...)
 		abs := pred.NewAbstractor(chk, set)
-		logf("== round %d: k=%d preds=%s\n", round, k, set)
+		abs.Instrument(opts.Metrics)
+		logInfo("== round", "round", round, "k", k, "preds", set.String())
 
 		A := acfa.Empty(set)
 		var prevARG *reach.ARG
@@ -207,12 +274,18 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("circ: analysis cancelled: %w", err)
 			}
-			res, err := reach.ReachAndBuild(ctx, c, A, abs, raceVar, reach.Options{
+			cIters.Inc()
+			ictx, isp := telemetry.StartSpan(ctx, "iteration")
+			curSpan = isp
+			isp.Annotate("round", round)
+			isp.Annotate("inner", inner)
+			res, err := reach.ReachAndBuild(ictx, c, A, abs, raceVar, reach.Options{
 				K:           k,
 				ExactSeed:   opts.Omega,
 				MaxStates:   opts.MaxStates,
 				MaxRaces:    opts.MaxRaces,
 				Parallelism: opts.Parallelism,
+				Metrics:     opts.Metrics,
 			})
 			if err != nil {
 				if ctx.Err() != nil {
@@ -232,8 +305,9 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				ACFALocs:  A.NumLocs(),
 				RaceFound: len(res.Races) > 0,
 			}
-			logf("-- round %d.%d: states=%d argLocs=%d races=%d\n",
-				round, inner, res.NumStates, info.ARGLocs, len(res.Races))
+			isp.Annotate("states", res.NumStates)
+			logInfo("-- iteration", "round", round, "inner", inner,
+				"states", res.NumStates, "argLocs", info.ARGLocs, "races", len(res.Races))
 
 			if len(res.Races) > 0 {
 				// Analyse counterexamples until one is genuine or the
@@ -249,12 +323,14 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				anyIncK := false
 				var lastTF []expr.Expr
 				var lastErr error
+				_, rsp := telemetry.StartSpan(ictx, "refine")
 				for _, trace := range res.Races {
 					out, err := refine.Refine(refine.Input{
 						C: c, A: A, ARG: prevARG, Mu: mu,
 						Trace: trace, RaceVar: raceVar,
 						K: k, ExactSeed: opts.Omega, Chk: chk,
 						Strategy: opts.MineStrategy,
+						Metrics:  opts.Metrics,
 					})
 					if err != nil {
 						lastErr = err
@@ -262,9 +338,10 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 					}
 					switch out.Kind {
 					case refine.Real:
+						rsp.End()
 						info.RefineOutcome = out.Kind.String()
 						rep.History = append(rep.History, info)
-						logf("   genuine race:\n%s", out.Interleaving)
+						logInfo("   genuine race", "trace", out.Interleaving.String())
 						rep.Verdict = Unsafe
 						rep.Race = out.Interleaving
 						rep.Witness = out.Witness
@@ -284,17 +361,20 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 						}
 					}
 				}
+				rsp.End()
 				switch {
 				case len(fresh) > 0:
 					info.RefineOutcome = "new-predicates"
-					logf("   spurious; new predicates: %v\n", fresh)
+					logInfo("   spurious; new predicates", "preds", fmt.Sprintf("%v", fresh))
+					cPredsFound.Add(int64(len(fresh)))
 					preds = append(preds, fresh...)
 					rep.TF = lastTF
 					advanceOuter = true
 				case anyIncK:
 					info.RefineOutcome = "increment-k"
 					k++
-					logf("   counter too low; k := %d\n", k)
+					cKInc.Inc()
+					logInfo("   counter too low", "k", k)
 					advanceOuter = true
 				default:
 					info.RefineOutcome = "stuck"
@@ -310,15 +390,22 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 					return rep, nil
 				}
 				rep.History = append(rep.History, info)
+				isp.End()
+				curSpan = nil
 				continue
 			}
 
 			// No race reachable: guarantee check (CheckSim).
 			argACFA, _ := res.ARG.ToACFA()
-			if simrel.Simulates(argACFA, A, chk) {
+			_, ssp := telemetry.StartSpan(ictx, "simcheck")
+			simulates := simrel.Simulates(argACFA, A, chk)
+			ssp.End()
+			if simulates {
 				rep.History = append(rep.History, info)
 				if opts.Omega {
-					ok, err := goodLocationCheck(c, A, res.ARG, mu, k, chk)
+					_, osp := telemetry.StartSpan(ictx, "goodloc")
+					ok, err := goodLocationCheck(c, A, res.ARG, mu, k, chk, opts.Metrics)
+					osp.End()
 					if err != nil {
 						rep.Verdict = Unknown
 						rep.Reason = err.Error()
@@ -328,12 +415,15 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 					}
 					if !ok {
 						k++
-						logf("   good-location check failed; k := %d\n", k)
+						cKInc.Inc()
+						logInfo("   good-location check failed", "k", k)
 						advanceOuter = true
+						isp.End()
+						curSpan = nil
 						continue
 					}
 				}
-				logf("   context sound: SAFE with %d-location ACFA\n", A.NumLocs())
+				logInfo("   context sound: SAFE", "acfaLocs", A.NumLocs())
 				rep.Verdict = Safe
 				rep.FinalACFA = A
 				rep.Preds = set.Preds()
@@ -341,17 +431,21 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				return rep, nil
 			}
 			// Weaken the context: A := Collapse(G).
+			_, csp := telemetry.StartSpan(ictx, "collapse")
 			if opts.NoMinimize {
 				var locMap map[int]acfa.Loc
 				A, locMap = res.ARG.ToACFA()
 				mu = locMap
 			} else {
-				A, mu = bisim.Collapse(res.ARG, chk)
+				A, mu = bisim.Collapse(res.ARG, chk, opts.Metrics)
 			}
+			csp.End()
 			prevARG = res.ARG
 			info.ACFALocs = A.NumLocs()
 			rep.History = append(rep.History, info)
-			logf("   context unsound; collapsed to %d-location ACFA\n%s", A.NumLocs(), indent(A.String()))
+			logInfo("   context unsound; collapsed", "acfaLocs", A.NumLocs(), "acfa", A.String())
+			isp.End()
+			curSpan = nil
 		}
 		if !advanceOuter {
 			rep.Verdict = Unknown
@@ -366,27 +460,4 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 	rep.Preds = preds
 	rep.K = k
 	return rep, nil
-}
-
-func indent(s string) string {
-	out := ""
-	for _, line := range splitLines(s) {
-		out += "      " + line + "\n"
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			out = append(out, s[start:i])
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		out = append(out, s[start:])
-	}
-	return out
 }

@@ -10,6 +10,7 @@ import (
 	"circ/internal/lang"
 	"circ/internal/refine"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // The paper's Figure 1 test-and-set program: race-free on x.
@@ -61,10 +62,8 @@ func checkSrc(t *testing.T, src string, opts Options) *Report {
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	var log = opts.Log
-	if testing.Verbose() && log == nil {
-		log = os.Stderr
-		opts.Log = log
+	if testing.Verbose() && opts.Logger == nil {
+		opts.Logger = telemetry.NarrationLogger(os.Stderr)
 	}
 	rep, err := Check(context.Background(), c, "x", opts, smt.NewChecker())
 	if err != nil {

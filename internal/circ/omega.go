@@ -10,6 +10,7 @@ import (
 	"circ/internal/pred"
 	"circ/internal/reach"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // goodLocationCheck implements the omega-CIRC generalisation test of
@@ -31,10 +32,10 @@ import (
 // The data makes label-encoded mutual exclusion visible (e.g. two threads
 // can never both occupy the critical-section locations), without which the
 // check would fail spuriously and k would diverge.
-func goodLocationCheck(c *cfa.CFA, a *acfa.ACFA, g *reach.ARG, mu map[int]acfa.Loc, k int, chk smt.Solver) (bool, error) {
+func goodLocationCheck(c *cfa.CFA, a *acfa.ACFA, g *reach.ARG, mu map[int]acfa.Loc, k int, chk smt.Solver, reg *telemetry.Registry) (bool, error) {
 	_, _, _ = c, a, mu
 	// Re-collapse the final ARG so locations and classes line up.
-	quot, muq := bisim.Collapse(g, chk)
+	quot, muq := bisim.Collapse(g, chk, reg)
 	if quot.IsEmpty() {
 		return true, nil // a do-nothing context trivially generalises
 	}

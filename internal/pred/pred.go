@@ -14,6 +14,7 @@ import (
 
 	"circ/internal/expr"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Set is an ordered, deduplicated set of predicate atoms. All cubes over
@@ -298,6 +299,10 @@ func TrueRegion(s *Set) *Region {
 type Abstractor struct {
 	Chk smt.Solver
 	Set *Set
+
+	// Telemetry counters, attached with Instrument; nil handles are
+	// no-ops, so an uninstrumented abstractor pays only nil checks.
+	cCalls, cBottom *telemetry.Counter
 }
 
 // NewAbstractor returns an abstractor over the given set.
@@ -305,12 +310,22 @@ func NewAbstractor(chk smt.Solver, s *Set) *Abstractor {
 	return &Abstractor{Chk: chk, Set: s}
 }
 
+// Instrument attaches abstraction counters ("pred.abstract.calls",
+// "pred.abstract.bottom") to the registry. Call before sharing the
+// abstractor with concurrent workers.
+func (a *Abstractor) Instrument(reg *telemetry.Registry) {
+	a.cCalls = reg.Counter("pred.abstract.calls")
+	a.cBottom = reg.Counter("pred.abstract.bottom")
+}
+
 // Abstract computes the cartesian abstraction of formula phi: the
 // strongest cube implied by phi. It returns nil when phi is unsatisfiable
 // (abstract bottom).
 func (a *Abstractor) Abstract(phi expr.Expr) *Cube {
+	a.cCalls.Inc()
 	phi = expr.Simplify(phi)
 	if a.Chk.Sat(phi) == smt.Unsat {
+		a.cBottom.Inc()
 		return nil
 	}
 	c := TopCube(a.Set)

@@ -9,6 +9,7 @@ import (
 	"circ/internal/cfa"
 	"circ/internal/expr"
 	"circ/internal/pred"
+	"circ/internal/telemetry"
 )
 
 // Options configures ReachAndBuild.
@@ -29,6 +30,10 @@ type Options struct {
 	// deterministic BFS order. Parallelism > 1 requires the abstractor's
 	// solver to be safe for concurrent use (smt.CachedChecker).
 	Parallelism int
+	// Metrics, when non-nil, receives exploration counters (states,
+	// levels, frontier high-water mark, post-cache effectiveness, races).
+	// Telemetry never affects the verdict, only observes it.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) maxStates() int {
@@ -88,7 +93,24 @@ func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abst
 	for i := range e.posts.shards {
 		e.posts.shards[i].m = make(map[string]*pred.Cube)
 	}
-	return e.run(ctx)
+	// Instrument handles are fetched once; with a nil registry they are nil
+	// and every update on the hot path degrades to a nil check.
+	if reg := opts.Metrics; reg != nil {
+		e.cStates = reg.Counter("reach.states")
+		e.cLevels = reg.Counter("reach.levels")
+		e.cRaces = reg.Counter("reach.races")
+		e.cPostHits = reg.Counter("reach.post.cache.hits")
+		e.cPostMisses = reg.Counter("reach.post.cache.misses")
+		e.gFrontier = reg.Gauge("reach.frontier.max")
+	}
+	ctx, sp := telemetry.StartSpan(ctx, "reach")
+	res, err := e.run(ctx)
+	if res != nil {
+		sp.Annotate("states", res.NumStates)
+		sp.Annotate("races", len(res.Races))
+	}
+	sp.End()
+	return res, err
 }
 
 // postShardCount shards the abstract-post cache; frontier workers hit it
@@ -110,13 +132,13 @@ type postCache struct {
 	shards [postShardCount]postShard
 }
 
-func (p *postCache) get(key string, compute func() *pred.Cube) *pred.Cube {
+func (p *postCache) get(key string, compute func() *pred.Cube) (*pred.Cube, bool) {
 	sh := &p.shards[shardIndex(key)]
 	sh.mu.RLock()
 	c, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
-		return c
+		return c, true
 	}
 	// Compute outside the lock; a concurrent duplicate computes the same
 	// deterministic cube, so last-write-wins is harmless.
@@ -124,7 +146,7 @@ func (p *postCache) get(key string, compute func() *pred.Cube) *pred.Cube {
 	sh.mu.Lock()
 	sh.m[key] = c
 	sh.mu.Unlock()
-	return c
+	return c, false
 }
 
 // shardIndex is FNV-1a over the key, reduced to a shard.
@@ -145,10 +167,22 @@ type explorer struct {
 	opts    Options
 
 	posts postCache
+
+	// Telemetry handles, nil when no registry is configured (each update
+	// is then a single nil check — see BenchmarkReachTelemetry).
+	cStates, cLevels, cRaces *telemetry.Counter
+	cPostHits, cPostMisses   *telemetry.Counter
+	gFrontier                *telemetry.Gauge
 }
 
 func (e *explorer) cachedPost(key string, compute func() *pred.Cube) *pred.Cube {
-	return e.posts.get(key, compute)
+	c, hit := e.posts.get(key, compute)
+	if hit {
+		e.cPostHits.Inc()
+	} else {
+		e.cPostMisses.Inc()
+	}
+	return c
 }
 
 // run is a level-synchronous BFS. Each level's states are expanded by a
@@ -182,15 +216,19 @@ levels:
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		e.cLevels.Inc()
+		e.gFrontier.Max(int64(len(frontier)))
 		recs := e.expandLevel(frontier)
 
 		var next []*State
 		for i, s := range frontier {
 			numStates++
+			e.cStates.Inc()
 			if numStates > e.opts.maxStates() {
 				return nil, fmt.Errorf("reach: state budget exceeded (%d states)", e.opts.maxStates())
 			}
 			if e.isRace(s) {
+				e.cRaces.Inc()
 				races = append(races, e.buildTrace(seen, s))
 				if len(races) >= e.opts.maxRaces() {
 					// Enough counterexamples for this refinement round; the

@@ -12,7 +12,7 @@ import (
 	"circ/internal/smt"
 )
 
-func buildCFA(t *testing.T, src string) *cfa.CFA {
+func buildCFA(t testing.TB, src string) *cfa.CFA {
 	t.Helper()
 	p, err := lang.Parse(src)
 	if err != nil {

@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"circ/internal/acfa"
 	"circ/internal/cfa"
 	"circ/internal/expr"
 	"circ/internal/reach"
 	"circ/internal/smt"
+	"circ/internal/telemetry"
 )
 
 // Kind classifies the refinement outcome.
@@ -75,6 +77,8 @@ type Input struct {
 	Chk       smt.Solver
 	// Strategy selects the predicate-mining method (default MineAtoms).
 	Strategy MineStrategy
+	// Metrics, when non-nil, receives per-outcome refinement counters.
+	Metrics *telemetry.Registry
 }
 
 // ConcreteStep is one operation of the interleaved concrete trace;
@@ -114,6 +118,33 @@ type Outcome struct {
 
 // Refine analyses the abstract counterexample.
 func Refine(in Input) (*Outcome, error) {
+	start := time.Now()
+	out, err := refine(in)
+	in.Metrics.Histogram("refine.analyze").Since(start)
+	switch {
+	case err != nil:
+		in.Metrics.Counter("refine.errors").Inc()
+	case out != nil:
+		in.Metrics.Counter("refine." + outcomeKey(out.Kind)).Inc()
+		in.Metrics.Counter("refine.preds.mined").Add(int64(len(out.Preds)))
+	}
+	return out, err
+}
+
+// outcomeKey is the metric-name suffix of a refinement outcome.
+func outcomeKey(k Kind) string {
+	switch k {
+	case Real:
+		return "real"
+	case NewPreds:
+		return "newpreds"
+	case IncrementK:
+		return "inck"
+	}
+	return "stuck"
+}
+
+func refine(in Input) (*Outcome, error) {
 	threads, err := assignThreads(in)
 	if err != nil {
 		if err == errCounterTooLow {

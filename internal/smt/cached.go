@@ -3,8 +3,10 @@ package smt
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"circ/internal/expr"
+	"circ/internal/telemetry"
 )
 
 // numShards is the cache shard count. 64 keeps lock contention negligible
@@ -36,6 +38,55 @@ type CachedChecker struct {
 	shards [numShards]cacheShard
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Telemetry, attached with Instrument. All handles are nil-safe, so an
+	// uninstrumented checker pays only nil checks.
+	cHits, cMisses         *telemetry.Counter
+	cSat, cUnsat, cUnknown *telemetry.Counter
+	hSolve                 *telemetry.Histogram
+	tracer                 *telemetry.Tracer
+}
+
+// Instrument attaches a metrics registry and an optional tracer. Cache
+// hits and misses feed counters, and every cache miss (an actual solve)
+// records its duration in the "smt.solve" histogram, a per-verdict
+// counter, and — when a tracer is attached — an "smt.solve" span. Call it
+// before the checker is shared with concurrent solvers.
+func (c *CachedChecker) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	c.cHits = reg.Counter("smt.cache.hits")
+	c.cMisses = reg.Counter("smt.cache.misses")
+	c.cSat = reg.Counter("smt.sat")
+	c.cUnsat = reg.Counter("smt.unsat")
+	c.cUnknown = reg.Counter("smt.unknown")
+	if reg != nil {
+		c.hSolve = reg.Histogram("smt.solve")
+	}
+	c.tracer = tr
+}
+
+// solveInstrumented runs one cache-miss solve under the attached
+// telemetry: duration histogram, per-verdict counter, and a detached
+// "smt.solve" span (cache misses are the only real solver work, so the
+// trace stays proportionate to where time goes).
+func (c *CachedChecker) solveInstrumented(f expr.Expr, wantModel bool) (Result, map[string]int64) {
+	if c.hSolve == nil && c.tracer == nil {
+		return c.inner.solve(f, wantModel)
+	}
+	sp := c.tracer.StartDetached("smt.solve", "smt")
+	start := time.Now()
+	r, m := c.inner.solve(f, wantModel)
+	c.hSolve.Observe(time.Since(start))
+	sp.Annotate("result", r.String())
+	sp.End()
+	switch r {
+	case Sat:
+		c.cSat.Inc()
+	case Unsat:
+		c.cUnsat.Inc()
+	default:
+		c.cUnknown.Inc()
+	}
+	return r, m
 }
 
 // CacheStats is a point-in-time view of a CachedChecker's counters.
@@ -95,10 +146,12 @@ func (c *CachedChecker) Sat(f expr.Expr) Result {
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		c.cHits.Inc()
 		return r
 	}
 	c.misses.Add(1)
-	r, _ = c.inner.solve(f, false)
+	c.cMisses.Inc()
+	r, _ = c.solveInstrumented(f, false)
 	sh.mu.Lock()
 	sh.m[key] = r
 	sh.mu.Unlock()
@@ -110,7 +163,7 @@ func (c *CachedChecker) Sat(f expr.Expr) Result {
 func (c *CachedChecker) SatModel(f expr.Expr) (Result, map[string]int64) {
 	f = expr.Simplify(f)
 	key := f.Key()
-	r, m := c.inner.solve(f, true)
+	r, m := c.solveInstrumented(f, true)
 	sh := &c.shards[shardIndex(key)]
 	sh.mu.Lock()
 	sh.m[key] = r

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// traceEvent is one record of the Chrome trace_event format. Only complete
+// events ("ph":"X") are emitted; ts and dur are microseconds from the
+// tracer's start. Files load directly in chrome://tracing and Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the trace_event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Export writes the completed spans as Chrome trace_event JSON. Spans are
+// sorted by start time (ties: longer first, then by name) so the output is
+// deterministic regardless of completion order.
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]spanEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		if events[i].dur != events[j].dur {
+			return events[i].dur > events[j].dur
+		}
+		return events[i].name < events[j].name
+	})
+	out := traceFile{TraceEvents: make([]traceEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, ev := range events {
+		te := traceEvent{
+			Name: ev.name,
+			Cat:  ev.cat,
+			Ph:   "X",
+			TS:   micros(ev.start),
+			Dur:  micros(ev.dur),
+			PID:  1,
+			TID:  ev.lane,
+		}
+		if len(ev.args) > 0 {
+			te.Args = make(map[string]any, len(ev.args))
+			for _, a := range ev.args {
+				te.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ExportFile writes the trace to path; see Export.
+func (t *Tracer) ExportFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// micros converts to the trace_event microsecond timebase, keeping
+// sub-microsecond precision as a fraction.
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNarrationHandlerRendersLine(t *testing.T) {
+	var sb strings.Builder
+	log := NarrationLogger(&sb)
+	log.Info("-- round", "round", 2, "k", 1, "preds", "[old==0]")
+	got := sb.String()
+	want := "-- round round=2 k=1 preds=[old==0]\n"
+	if got != want {
+		t.Errorf("narration = %q, want %q", got, want)
+	}
+}
+
+func TestNarrationHandlerIndentsMultilineAttrs(t *testing.T) {
+	var sb strings.Builder
+	log := NarrationLogger(&sb)
+	log.Info("context collapsed", "locs", 3, "acfa", "n0 -> n1\nn1 -> n0\n")
+	got := sb.String()
+	if !strings.Contains(got, "context collapsed locs=3\n") {
+		t.Errorf("missing line: %q", got)
+	}
+	if !strings.Contains(got, "      n0 -> n1\n      n1 -> n0\n") {
+		t.Errorf("multiline attr not indented: %q", got)
+	}
+}
+
+func TestNarrationHandlerWithAttrs(t *testing.T) {
+	var sb strings.Builder
+	log := NarrationLogger(&sb).With("unit", "Worker/x")
+	log.Info("safe")
+	if got := sb.String(); got != "safe unit=Worker/x\n" {
+		t.Errorf("narration = %q", got)
+	}
+}
+
+func TestNarrationLoggerNilWriter(t *testing.T) {
+	if l := NarrationLogger(nil); l != nil {
+		t.Fatal("NarrationLogger(nil) should be nil (silent)")
+	}
+}

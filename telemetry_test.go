@@ -1,0 +1,141 @@
+package circ
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// verdictKey flattens everything analysis-relevant in a report — verdict,
+// parameter, rounds, predicates, the inferred context model, and the race
+// trace — into one comparable string. Telemetry must never change it.
+func verdictKey(rep *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verdict=%s k=%d rounds=%d preds=%v\n", rep.Verdict, rep.K, rep.Rounds, rep.Preds)
+	if rep.FinalACFA != nil {
+		sb.WriteString(rep.FinalACFA.String())
+	}
+	if rep.Race != nil {
+		sb.WriteString(rep.Race.String())
+	}
+	return sb.String()
+}
+
+// TestTracingPreservesVerdicts: enabling the tracer and the metrics
+// registry must leave analysis results byte-identical, including under
+// frontier-parallel reachability at GOMAXPROCS.
+func TestTracingPreservesVerdicts(t *testing.T) {
+	for _, src := range []string{tasSrc, `
+global int x;
+thread T {
+  while (1) { x = x + 1; }
+}
+`} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := runtime.GOMAXPROCS(0)
+		plain, err := NewChecker(WithParallelism(par)).Check(context.Background(), p, "", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTracer()
+		traced, err := NewChecker(WithParallelism(par), WithTracer(tr)).Check(context.Background(), p, "", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1, k2 := verdictKey(plain), verdictKey(traced); k1 != k2 {
+			t.Fatalf("tracing changed the analysis result:\n--- plain\n%s--- traced\n%s", k1, k2)
+		}
+		if tr.NumSpans() == 0 {
+			t.Fatal("tracer recorded no spans")
+		}
+		var buf bytes.Buffer
+		if err := tr.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("exported trace is not valid JSON: %v", err)
+		}
+	}
+}
+
+// TestReportEmbedsMetrics: every Report carries its own metrics snapshot,
+// and Summary folds the iteration count and SMT hit rate out of it without
+// consulting the live checker.
+func TestReportEmbedsMetrics(t *testing.T) {
+	chk := NewChecker()
+	rep, err := chk.CheckSource(context.Background(), tasSrc, "", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Safe {
+		t.Fatalf("verdict = %v, want safe", rep.Verdict)
+	}
+	iters := rep.Metrics.Counter("circ.iterations")
+	if iters == 0 {
+		t.Fatalf("Report.Metrics has no circ.iterations counter: %v", rep.Metrics.Counters)
+	}
+	if rep.Metrics.Counter("reach.states") == 0 {
+		t.Fatalf("Report.Metrics has no reach.states counter: %v", rep.Metrics.Counters)
+	}
+	sum := rep.Summary()
+	if want := fmt.Sprintf("%d iterations", iters); !strings.Contains(sum, want) {
+		t.Fatalf("Summary %q does not mention %q", sum, want)
+	}
+	if !strings.Contains(sum, "smt hit rate") {
+		t.Fatalf("Summary %q does not mention the smt hit rate", sum)
+	}
+	// The checker-level registry aggregates what the per-report snapshot
+	// recorded.
+	total := chk.Metrics().Snapshot()
+	if total.Counter("circ.iterations") < iters {
+		t.Fatalf("checker registry (%d iterations) lost the report's %d",
+			total.Counter("circ.iterations"), iters)
+	}
+}
+
+// TestBatchReportMetrics: a batch run snapshots its merged unit metrics
+// plus the batch-level utilisation counters.
+func TestBatchReportMetrics(t *testing.T) {
+	b, err := CheckAllRaces(context.Background(), tasSrc, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Metrics.Counter("batch.units"), int64(len(b.Results)); got != want {
+		t.Fatalf("batch.units = %d, want %d", got, want)
+	}
+	if b.Metrics.Gauge("batch.workers") == 0 {
+		t.Fatal("batch.workers gauge not set")
+	}
+	if b.Metrics.Counter("batch.busy_nanos") == 0 {
+		t.Fatal("batch.busy_nanos counter not recorded")
+	}
+	if b.Metrics.Counter("circ.iterations") == 0 {
+		t.Fatal("unit engine metrics did not roll up into the batch snapshot")
+	}
+}
+
+// TestWithLogShim: the io.Writer entry point still produces the classic
+// plain-text narration through the slog-based handler.
+func TestWithLogShim(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := NewChecker(WithLog(&buf), WithParallelism(1)).
+		CheckSource(context.Background(), tasSrc, "", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== round") {
+		t.Fatalf("narration missing round headers:\n%s", out)
+	}
+	if strings.Contains(out, "level=INFO") {
+		t.Fatalf("narration leaked slog's default text format:\n%s", out)
+	}
+}
