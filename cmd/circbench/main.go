@@ -308,7 +308,12 @@ type benchRow struct {
 	SMTQueries    int64             `json:"smt_queries"`
 	CacheHits     int64             `json:"cache_hits"`
 	CacheMisses   int64             `json:"cache_misses"`
+	FastPath      int64             `json:"fastpath"`
 	HitRate       float64           `json:"hit_rate"`
+	// Allocation intensity of the parallel run, from runtime.MemStats
+	// deltas over all SMT queries issued (hits + misses + fast path).
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
 }
 
 type benchReport struct {
@@ -364,8 +369,14 @@ func runOnce(src string, par int) (*circ.BatchReport, error) {
 
 func runBench() {
 	par := parallelism()
+	// The parallel legs need real OS-level parallelism to mean anything;
+	// raise GOMAXPROCS to the worker-pool size when the environment (or a
+	// constrained CI box) set it lower.
+	if par > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(par)
+	}
 	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
-	fmt.Printf("%-28s %7s %9s %9s %8s %9s\n", "benchmark", "targets", "seq", "par", "speedup", "hit-rate")
+	fmt.Printf("%-28s %7s %9s %9s %8s %9s %11s\n", "benchmark", "targets", "seq", "par", "speedup", "hit-rate", "allocs/q")
 	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
 	// Each runOnce uses a fresh checker (and so a fresh registry); merge
 	// the per-run snapshots into a bench-level child of the process
@@ -377,11 +388,14 @@ func runBench() {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(sequential):", err)
 			os.Exit(1)
 		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		parRep, err := runOnce(bc.Source, par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(parallel):", err)
 			os.Exit(1)
 		}
+		runtime.ReadMemStats(&msAfter)
 		row := benchRow{
 			Name:          bc.Name,
 			Targets:       len(parRep.Results),
@@ -392,7 +406,12 @@ func runBench() {
 			SMTQueries:    parRep.SMT.Solver.Queries,
 			CacheHits:     parRep.SMT.Hits,
 			CacheMisses:   parRep.SMT.Misses,
+			FastPath:      parRep.SMT.FastPath,
 			HitRate:       parRep.SMT.HitRate(),
+		}
+		if queries := row.CacheHits + row.CacheMisses + row.FastPath; queries > 0 {
+			row.AllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(queries)
+			row.BytesPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(queries)
 		}
 		for i, r := range parRep.Results {
 			v := "error"
@@ -419,8 +438,8 @@ func runBench() {
 		if !row.VerdictsAgree {
 			agree = "  VERDICT MISMATCH"
 		}
-		fmt.Printf("%-28s %7d %8.0fms %8.0fms %7.2fx %8.1f%%%s\n",
-			bc.Name, row.Targets, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, agree)
+		fmt.Printf("%-28s %7d %8.0fms %8.0fms %7.2fx %8.1f%% %11.0f%s\n",
+			bc.Name, row.Targets, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, row.AllocsPerQuery, agree)
 	}
 	if report.TotalParMs > 0 {
 		report.Speedup = report.TotalSeqMs / report.TotalParMs

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"circ/internal/expr"
 	"circ/internal/smt"
@@ -18,15 +19,19 @@ import (
 )
 
 // Set is an ordered, deduplicated set of predicate atoms. All cubes over
-// the same analysis share one Set.
+// the same analysis share one Set. Alongside each predicate tree the set
+// holds the interned IDs of the predicate and its negation, so the
+// abstraction loop issues cube queries without rebuilding literal trees.
 type Set struct {
-	preds []expr.Expr
-	index map[string]int
+	preds  []expr.Expr
+	ids    []expr.ID // interned canonical predicate
+	negIDs []expr.ID // interned canonical negation
+	index  map[expr.ID]int
 }
 
 // NewSet returns a predicate set containing the given atoms.
 func NewSet(preds ...expr.Expr) *Set {
-	s := &Set{index: make(map[string]int)}
+	s := &Set{index: make(map[expr.ID]int)}
 	for _, p := range preds {
 		s.Add(p)
 	}
@@ -34,18 +39,24 @@ func NewSet(preds ...expr.Expr) *Set {
 }
 
 // Add inserts an atom, reporting whether it was new. Atoms are simplified
-// and deduplicated by canonical key.
+// and deduplicated by interned identity, which also merges different
+// spellings of one atom (x > 0 and 0 < x share a canonical form).
 func (s *Set) Add(p expr.Expr) bool {
 	p = expr.Simplify(p)
 	if _, ok := p.(expr.Bool); ok {
 		return false // trivial predicates carry no information
 	}
-	k := p.Key()
-	if _, ok := s.index[k]; ok {
+	id := expr.Intern(p)
+	if _, ok := expr.IDBoolValue(id); ok {
 		return false
 	}
-	s.index[k] = len(s.preds)
+	if _, ok := s.index[id]; ok {
+		return false
+	}
+	s.index[id] = len(s.preds)
 	s.preds = append(s.preds, p)
+	s.ids = append(s.ids, id)
+	s.negIDs = append(s.negIDs, expr.InternNot(id))
 	return true
 }
 
@@ -54,6 +65,12 @@ func (s *Set) Len() int { return len(s.preds) }
 
 // At returns the i-th predicate.
 func (s *Set) At(i int) expr.Expr { return s.preds[i] }
+
+// IDAt returns the interned ID of the i-th predicate.
+func (s *Set) IDAt(i int) expr.ID { return s.ids[i] }
+
+// NegIDAt returns the interned ID of the i-th predicate's negation.
+func (s *Set) NegIDAt(i int) expr.ID { return s.negIDs[i] }
 
 // Preds returns the predicates in order.
 func (s *Set) Preds() []expr.Expr { return append([]expr.Expr(nil), s.preds...) }
@@ -88,9 +105,39 @@ func (v TV) String() string {
 
 // Cube is a conjunction of decided literals over a Set. The zero-length
 // cube (all Unknown) denotes true.
+//
+// Cubes are mutated only inside this package, before they are handed to
+// callers; once published they are immutable. The canonical key and the
+// interned formula ID are therefore memoised lazily on first use — the
+// reachability engine keys states and post caches by them millions of
+// times per run.
 type Cube struct {
 	set *Set
 	tv  []TV
+
+	memoOnce sync.Once
+	memoKey  string
+	memoFID  expr.ID
+}
+
+func (c *Cube) memo() {
+	c.memoOnce.Do(func() {
+		b := make([]byte, len(c.tv))
+		for i, v := range c.tv {
+			b[i] = "?TF"[v]
+		}
+		c.memoKey = string(b)
+		ids := make([]expr.ID, 0, len(c.tv))
+		for i, v := range c.tv {
+			switch v {
+			case True:
+				ids = append(ids, c.set.IDAt(i))
+			case False:
+				ids = append(ids, c.set.NegIDAt(i))
+			}
+		}
+		c.memoFID = expr.IDConj(ids...)
+	})
 }
 
 // TopCube returns the all-Unknown cube (denoting true) over s.
@@ -113,13 +160,18 @@ func (c *Cube) Set() *Set { return c.set }
 // TV returns the truth value of predicate i.
 func (c *Cube) TV(i int) TV { return c.tv[i] }
 
-// Key returns a canonical key (one character per predicate).
+// Key returns a canonical key (one character per predicate), memoised on
+// first call.
 func (c *Cube) Key() string {
-	var b strings.Builder
-	for _, v := range c.tv {
-		b.WriteString(v.String())
-	}
-	return b.String()
+	c.memo()
+	return c.memoKey
+}
+
+// FormulaID returns the interned ID of the cube's formula (the canonical
+// conjunction of its decided literals), memoised on first call.
+func (c *Cube) FormulaID() expr.ID {
+	c.memo()
+	return c.memoFID
 }
 
 // Formula returns the conjunction of the cube's decided literals.
@@ -321,19 +373,26 @@ func (a *Abstractor) Instrument(reg *telemetry.Registry) {
 // Abstract computes the cartesian abstraction of formula phi: the
 // strongest cube implied by phi. It returns nil when phi is unsatisfiable
 // (abstract bottom).
+//
+// The per-predicate entailment queries phi ⊨ p (that is, unsat(phi ∧ ¬p))
+// all share phi, so they run through one incremental session: phi is
+// encoded once into a persistent solver and each literal is discharged
+// under an assumption, with theory lemmas and learned clauses retained
+// across the whole cube enumeration. Literals that appear in phi verbatim
+// collapse syntactically at intern time and never reach the solver.
 func (a *Abstractor) Abstract(phi expr.Expr) *Cube {
 	a.cCalls.Inc()
-	phi = expr.Simplify(phi)
-	if a.Chk.Sat(phi) == smt.Unsat {
+	id := expr.Intern(phi)
+	if a.Chk.SatID(id) == smt.Unsat {
 		a.cBottom.Inc()
 		return nil
 	}
+	sess := a.Chk.NewSession(id)
 	c := TopCube(a.Set)
 	for i := 0; i < a.Set.Len(); i++ {
-		p := a.Set.At(i)
-		if a.Chk.Implies(phi, p) {
+		if sess.SatConj(a.Set.NegIDAt(i)) == smt.Unsat {
 			c.tv[i] = True
-		} else if a.Chk.Implies(phi, expr.Negate(p)) {
+		} else if sess.SatConj(a.Set.IDAt(i)) == smt.Unsat {
 			c.tv[i] = False
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"circ/internal/cfa"
 	"circ/internal/expr"
 	"circ/internal/pred"
+	"circ/internal/smt"
 	"circ/internal/telemetry"
 )
 
@@ -91,7 +92,7 @@ type parentInfo struct {
 func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abstractor, raceVar string, opts Options) (*Result, error) {
 	e := &explorer{C: C, A: A, abs: abs, raceVar: raceVar, opts: opts}
 	for i := range e.posts.shards {
-		e.posts.shards[i].m = make(map[string]*pred.Cube)
+		e.posts.shards[i].m = make(map[postKey]*pred.Cube)
 	}
 	// Instrument handles are fetched once; with a nil registry they are nil
 	// and every update on the hot path degrades to a nil check.
@@ -118,22 +119,51 @@ func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abst
 // the SMT cache.
 const postShardCount = 32
 
+// postKey identifies an abstract-post computation. Posts are a pure
+// function of the source cube's canonical formula (its interned ID) and
+// the edge being taken, so the key is a small comparable struct — no
+// string is built on the cache path, and states whose cubes differ only
+// in spelling share entries. Main edges are identified by (source
+// location, edge index); env moves by (ACFA location, edge index, target
+// cube index) — the main-thread location is irrelevant to an env post,
+// which widens sharing further.
+type postKey struct {
+	fid     expr.ID
+	kind    byte // 'm' main edge, 'e' env move
+	a, b, c int32
+}
+
+func mainPostKey(fid expr.ID, loc cfa.Loc, ei int) postKey {
+	return postKey{fid: fid, kind: 'm', a: int32(loc), b: int32(ei)}
+}
+
+func envPostKey(fid expr.ID, n acfa.Loc, ai, ti int) postKey {
+	return postKey{fid: fid, kind: 'e', a: int32(n), b: int32(ai), c: int32(ti)}
+}
+
+// shard mixes the key fields into a shard index with one multiply-fold.
+func (k postKey) shard() uint32 {
+	h := uint64(k.fid) ^ uint64(k.kind)<<56 ^
+		uint64(uint32(k.a))<<8 ^ uint64(uint32(k.b))<<24 ^ uint64(uint32(k.c))<<40
+	h *= 0x9E3779B97F4A7C15
+	return uint32(h>>32) % postShardCount
+}
+
 type postShard struct {
 	mu sync.RWMutex
-	m  map[string]*pred.Cube // nil values record bottom
+	m  map[postKey]*pred.Cube // nil values record bottom
 }
 
 // postCache memoises abstract posts behind sharded RW mutexes: states
-// sharing a thread state but differing in counters would otherwise
-// recompute identical SMT-heavy posts, and concurrent frontier workers
-// share each other's results. Keyed by thread-state key + edge identity
-// (+ target cube index for env moves).
+// sharing a cube formula but differing in counters or spelling would
+// otherwise recompute identical SMT-heavy posts, and concurrent frontier
+// workers share each other's results.
 type postCache struct {
 	shards [postShardCount]postShard
 }
 
-func (p *postCache) get(key string, compute func() *pred.Cube) (*pred.Cube, bool) {
-	sh := &p.shards[shardIndex(key)]
+func (p *postCache) get(key postKey, compute func() *pred.Cube) (*pred.Cube, bool) {
+	sh := &p.shards[key.shard()]
 	sh.mu.RLock()
 	c, ok := sh.m[key]
 	sh.mu.RUnlock()
@@ -147,16 +177,6 @@ func (p *postCache) get(key string, compute func() *pred.Cube) (*pred.Cube, bool
 	sh.m[key] = c
 	sh.mu.Unlock()
 	return c, false
-}
-
-// shardIndex is FNV-1a over the key, reduced to a shard.
-func shardIndex(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h % postShardCount
 }
 
 type explorer struct {
@@ -175,7 +195,7 @@ type explorer struct {
 	gFrontier                *telemetry.Gauge
 }
 
-func (e *explorer) cachedPost(key string, compute func() *pred.Cube) *pred.Cube {
+func (e *explorer) cachedPost(key postKey, compute func() *pred.Cube) *pred.Cube {
 	c, hit := e.posts.get(key, compute)
 	if hit {
 		e.cPostHits.Inc()
@@ -262,15 +282,24 @@ levels:
 	return &Result{Races: races, ARG: arg, NumStates: numStates}, nil
 }
 
+// minParallelFrontier is the frontier size below which expansion runs
+// sequentially even when a worker pool is configured. Small levels —
+// common in the narrow early and late phases of a run, and throughout
+// programs whose frontier never widens — cost more in goroutine spawn and
+// channel handoff than their (mostly post-cache-hit) expansions save;
+// this cutover is what fixed the table1/surge parallel regression.
+const minParallelFrontier = 8
+
 // expandLevel computes the successor records of every frontier state,
-// fanning the states out over the configured worker pool.
+// fanning the states out over the configured worker pool once the level
+// is large enough to amortise the handoff.
 func (e *explorer) expandLevel(frontier []*State) [][]succRecord {
 	recs := make([][]succRecord, len(frontier))
 	workers := e.opts.parallelism()
 	if workers > len(frontier) {
 		workers = len(frontier)
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(frontier) < minParallelFrontier {
 		for i, s := range frontier {
 			recs[i] = e.successors(s)
 		}
@@ -357,11 +386,11 @@ func (e *explorer) successors(s *State) []succRecord {
 	// reachable). We therefore constrain only by the moving thread's
 	// target label (part of the ACFA transition semantics), which the
 	// worked example's proof actually relies on.
-	tsKey := s.TS.Key()
+	fid := s.TS.Cube.FormulaID()
 	if mainEnabled {
 		for ei, edge := range e.C.OutEdges(s.TS.Loc) {
 			edge := edge
-			next := e.cachedPost(tsKey+"|m"+itoaInt(ei), func() *pred.Cube {
+			next := e.cachedPost(mainPostKey(fid, s.TS.Loc, ei), func() *pred.Cube {
 				switch edge.Op.Kind {
 				case cfa.OpAssign:
 					return e.abs.PostAssign(s.TS.Cube, edge.Op.LHS, edge.Op.RHS, expr.TrueExpr)
@@ -387,8 +416,7 @@ func (e *explorer) successors(s *State) []succRecord {
 			targets := e.A.Label(aedge.Dst)
 			for ti, tc := range targets.Cubes() {
 				tc := tc
-				key := tsKey + "|e" + itoaInt(int(n)) + "." + itoaInt(ai) + "." + itoaInt(ti)
-				next := e.cachedPost(key, func() *pred.Cube {
+				next := e.cachedPost(envPostKey(fid, n, ai, ti), func() *pred.Cube {
 					return e.abs.PostHavoc(s.TS.Cube, aedge.Havoc, tc.Formula(), expr.TrueExpr)
 				})
 				if next == nil {
@@ -421,8 +449,6 @@ func (e *explorer) buildTrace(seen map[string]*parentInfo, last *State) *Trace {
 	}
 	return t
 }
-
-func itoaInt(v int) string { return fmt.Sprintf("%d", v) }
 
 // isRace reports whether s is a race state on e.raceVar: no occupied
 // atomic location, and two distinct threads with enabled accesses of which
@@ -484,8 +510,10 @@ func (e *explorer) mainReadEnabled(s *State, x string) bool {
 		case cfa.OpAssume:
 			// An assume reading x is enabled unless the cube refutes its
 			// predicate (Unknown counts as enabled: sound over-approximation).
+			// cube ⊭ ¬p  ⇔  sat(cube ∧ p) is not unsat, queried on interned
+			// IDs so no formula tree is rebuilt.
 			if expr.Mentions(edge.Op.Pred, x) &&
-				!e.abs.Chk.Implies(s.TS.Cube.Formula(), expr.Negate(edge.Op.Pred)) {
+				e.abs.Chk.SatID(expr.IDConj(s.TS.Cube.FormulaID(), expr.Intern(edge.Op.Pred))) != smt.Unsat {
 				return true
 			}
 		}
@@ -497,7 +525,7 @@ func (e *explorer) mainReadEnabled(s *State, x string) bool {
 // has a non-empty abstract post from the current state. It shares the
 // explorer's post cache with successor expansion (identical computations).
 func (e *explorer) envWriteEnabled(s *State, n acfa.Loc, x string) bool {
-	tsKey := s.TS.Key()
+	fid := s.TS.Cube.FormulaID()
 	for ai, aedge := range e.A.OutEdges(n) {
 		aedge := aedge
 		writes := false
@@ -512,8 +540,7 @@ func (e *explorer) envWriteEnabled(s *State, n acfa.Loc, x string) bool {
 		}
 		for ti, tc := range e.A.Label(aedge.Dst).Cubes() {
 			tc := tc
-			key := tsKey + "|e" + itoaInt(int(n)) + "." + itoaInt(ai) + "." + itoaInt(ti)
-			if e.cachedPost(key, func() *pred.Cube {
+			if e.cachedPost(envPostKey(fid, n, ai, ti), func() *pred.Cube {
 				return e.abs.PostHavoc(s.TS.Cube, aedge.Havoc, tc.Formula(), expr.TrueExpr)
 			}) != nil {
 				return true

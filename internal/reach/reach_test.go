@@ -158,7 +158,7 @@ thread T {
 	a.Finish()
 	e := &explorer{C: c, A: a, abs: abs, raceVar: "x", opts: Options{K: 1}}
 	for i := range e.posts.shards {
-		e.posts.shards[i].m = make(map[string]*pred.Cube)
+		e.posts.shards[i].m = make(map[postKey]*pred.Cube)
 	}
 	// Find an atomic main location.
 	var atomicLoc cfa.Loc = -1

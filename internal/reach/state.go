@@ -8,6 +8,7 @@ package reach
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"circ/internal/acfa"
@@ -27,18 +28,18 @@ func (c Ctx) CloneCtx() Ctx { return append(Ctx(nil), c...) }
 
 // Key returns a canonical key.
 func (c Ctx) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 2*len(c))
 	for i, v := range c {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
 		if v == Omega {
-			b.WriteByte('w')
+			buf = append(buf, 'w')
 		} else {
-			fmt.Fprintf(&b, "%d", v)
+			buf = strconv.AppendInt(buf, int64(v), 10)
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 func (c Ctx) String() string { return "[" + c.Key() + "]" }
@@ -82,7 +83,7 @@ type ThreadState struct {
 
 // Key returns a canonical key.
 func (t ThreadState) Key() string {
-	return fmt.Sprintf("%d|%s", t.Loc, t.Cube.Key())
+	return strconv.Itoa(int(t.Loc)) + "|" + t.Cube.Key()
 }
 
 func (t ThreadState) String() string {
@@ -94,10 +95,19 @@ func (t ThreadState) String() string {
 type State struct {
 	TS  ThreadState
 	Ctx Ctx
+
+	key string // lazily memoised Key; safe because Key is only called
+	// from the sequential merge phase (workers hand states over a
+	// happens-before edge before anyone asks for a key)
 }
 
-// Key returns a canonical key.
-func (s *State) Key() string { return s.TS.Key() + "#" + s.Ctx.Key() }
+// Key returns a canonical key, memoised on first call.
+func (s *State) Key() string {
+	if s.key == "" {
+		s.key = s.TS.Key() + "#" + s.Ctx.Key()
+	}
+	return s.key
+}
 
 func (s *State) String() string {
 	return fmt.Sprintf("%s %s", s.TS, s.Ctx)

@@ -17,13 +17,14 @@ const numShards = 64
 
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string]Result
+	m  map[expr.ID]Result
 }
 
 // CachedChecker is a process-wide memoising SMT layer that is safe for
-// concurrent use. Results are keyed by the canonicalized formula key (the
-// same canonical form Checker caches on), hashed across mutex-guarded
-// shards, with hit/miss counters. One CachedChecker is meant to be shared
+// concurrent use. Results are keyed by interned formula ID — equality and
+// shard selection are integer operations, and a cache hit performs no
+// string construction and no allocation — hashed across mutex-guarded
+// shards with hit/miss counters. One CachedChecker is meant to be shared
 // by every analysis in a process — across frontier workers of one
 // reachability run, across refinement rounds, and across the (thread,
 // variable) pairs of a batch check — so identical predicate-abstraction
@@ -34,14 +35,15 @@ type cacheShard struct {
 // duplicated work is bounded by the race window. This keeps the hot hit
 // path a single RLock with no per-key latching.
 type CachedChecker struct {
-	inner  *Checker // solving core; its private cache is bypassed
-	shards [numShards]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	inner    *Checker // solving core; its private cache is bypassed
+	shards   [numShards]cacheShard
+	hits     atomic.Int64
+	misses   atomic.Int64
+	fastpath atomic.Int64 // queries folded to constants at intern time
 
 	// Telemetry, attached with Instrument. All handles are nil-safe, so an
 	// uninstrumented checker pays only nil checks.
-	cHits, cMisses         *telemetry.Counter
+	cHits, cMisses, cFast  *telemetry.Counter
 	cSat, cUnsat, cUnknown *telemetry.Counter
 	hSolve                 *telemetry.Histogram
 	tracer                 *telemetry.Tracer
@@ -55,6 +57,7 @@ type CachedChecker struct {
 func (c *CachedChecker) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	c.cHits = reg.Counter("smt.cache.hits")
 	c.cMisses = reg.Counter("smt.cache.misses")
+	c.cFast = reg.Counter("smt.cache.fastpath")
 	c.cSat = reg.Counter("smt.sat")
 	c.cUnsat = reg.Counter("smt.unsat")
 	c.cUnknown = reg.Counter("smt.unknown")
@@ -64,17 +67,17 @@ func (c *CachedChecker) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer
 	c.tracer = tr
 }
 
-// solveInstrumented runs one cache-miss solve under the attached
-// telemetry: duration histogram, per-verdict counter, and a detached
-// "smt.solve" span (cache misses are the only real solver work, so the
-// trace stays proportionate to where time goes).
-func (c *CachedChecker) solveInstrumented(f expr.Expr, wantModel bool) (Result, map[string]int64) {
+// instrumented runs one cache-miss solve under the attached telemetry:
+// duration histogram, per-verdict counter, and a detached "smt.solve"
+// span (cache misses are the only real solver work, so the trace stays
+// proportionate to where time goes).
+func (c *CachedChecker) instrumented(solve func() Result) Result {
 	if c.hSolve == nil && c.tracer == nil {
-		return c.inner.solve(f, wantModel)
+		return solve()
 	}
 	sp := c.tracer.StartDetached("smt.solve", "smt")
 	start := time.Now()
-	r, m := c.inner.solve(f, wantModel)
+	r := solve()
 	c.hSolve.Observe(time.Since(start))
 	sp.Annotate("result", r.String())
 	sp.End()
@@ -86,18 +89,20 @@ func (c *CachedChecker) solveInstrumented(f expr.Expr, wantModel bool) (Result, 
 	default:
 		c.cUnknown.Inc()
 	}
-	return r, m
+	return r
 }
 
 // CacheStats is a point-in-time view of a CachedChecker's counters.
 type CacheStats struct {
-	Hits   int64
-	Misses int64
-	Solver Stats // underlying solve-path work (queries, theory checks)
+	Hits     int64
+	Misses   int64
+	FastPath int64 // queries answered syntactically at intern time
+	Solver   Stats // underlying solve-path work (queries, theory checks)
 }
 
-// HitRate returns the fraction of queries answered from the cache, in
-// [0, 1]; 0 when no queries were issued.
+// HitRate returns the fraction of cache-consulting queries answered from
+// the cache, in [0, 1]; 0 when no queries were issued. Fast-path queries
+// never reach the cache and are excluded.
 func (s CacheStats) HitRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -111,7 +116,7 @@ func (s CacheStats) HitRate() float64 {
 func NewCachedChecker() *CachedChecker {
 	c := &CachedChecker{inner: NewChecker()}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]Result)
+		c.shards[i].m = make(map[expr.ID]Result)
 	}
 	return c
 }
@@ -119,30 +124,45 @@ func NewCachedChecker() *CachedChecker {
 // Stats returns a snapshot of the cache and solver counters.
 func (c *CachedChecker) Stats() CacheStats {
 	return CacheStats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Solver: c.inner.Snapshot(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		FastPath: c.fastpath.Load(),
+		Solver:   c.inner.Snapshot(),
 	}
 }
 
-// shardIndex is FNV-1a over the canonical key, reduced to a shard.
-func shardIndex(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h % numShards
+// shard maps an interned formula to its cache shard. IDs are dense and
+// assigned in intern order, so the low bits distribute uniformly; no
+// arena access or hashing is needed on the hit path.
+func (c *CachedChecker) shard(id expr.ID) *cacheShard {
+	return &c.shards[uint32(id)%numShards]
 }
 
 // Sat reports the satisfiability of formula f, consulting the shared
-// cache first.
+// cache first. If f is already in canonical interned form (for example a
+// formula built by the interning constructors, or obtained from FromID),
+// the lookup allocates nothing.
 func (c *CachedChecker) Sat(f expr.Expr) Result {
-	f = expr.Simplify(f)
-	key := f.Key()
-	sh := &c.shards[shardIndex(key)]
+	if id, ok := expr.LookupID(f); ok {
+		return c.SatID(id)
+	}
+	return c.SatID(expr.Intern(f))
+}
+
+// SatID reports the satisfiability of the interned formula id. This is
+// the hot path: a constant check, one shard RLock, and a map probe.
+func (c *CachedChecker) SatID(id expr.ID) Result {
+	if v, ok := expr.IDBoolValue(id); ok {
+		c.fastpath.Add(1)
+		c.cFast.Inc()
+		if v {
+			return Sat
+		}
+		return Unsat
+	}
+	sh := c.shard(id)
 	sh.mu.RLock()
-	r, ok := sh.m[key]
+	r, ok := sh.m[id]
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -151,9 +171,12 @@ func (c *CachedChecker) Sat(f expr.Expr) Result {
 	}
 	c.misses.Add(1)
 	c.cMisses.Inc()
-	r, _ = c.solveInstrumented(f, false)
+	r = c.instrumented(func() Result {
+		r, _ := c.inner.solve(id, false)
+		return r
+	})
 	sh.mu.Lock()
-	sh.m[key] = r
+	sh.m[id] = r
 	sh.mu.Unlock()
 	return r
 }
@@ -161,12 +184,16 @@ func (c *CachedChecker) Sat(f expr.Expr) Result {
 // SatModel reports satisfiability and, when Sat, an integer model. Models
 // are not cached (only the verdict is), so the query always solves.
 func (c *CachedChecker) SatModel(f expr.Expr) (Result, map[string]int64) {
-	f = expr.Simplify(f)
-	key := f.Key()
-	r, m := c.solveInstrumented(f, true)
-	sh := &c.shards[shardIndex(key)]
+	id := expr.Intern(f)
+	var m map[string]int64
+	r := c.instrumented(func() Result {
+		r, vals := c.inner.solve(id, true)
+		m = vals
+		return r
+	})
+	sh := c.shard(id)
 	sh.mu.Lock()
-	sh.m[key] = r
+	sh.m[id] = r
 	sh.mu.Unlock()
 	return r, m
 }
@@ -174,12 +201,12 @@ func (c *CachedChecker) SatModel(f expr.Expr) (Result, map[string]int64) {
 // Valid reports whether f is valid. Unknown degrades to false ("cannot
 // prove"), the sound direction for abstraction.
 func (c *CachedChecker) Valid(f expr.Expr) bool {
-	return c.Sat(expr.Negate(f)) == Unsat
+	return c.SatID(expr.InternNot(expr.Intern(f))) == Unsat
 }
 
 // Implies reports whether a entails b.
 func (c *CachedChecker) Implies(a, b expr.Expr) bool {
-	return c.Sat(expr.Conj(a, expr.Negate(b))) == Unsat
+	return c.SatID(expr.IDConj(expr.Intern(a), expr.InternNot(expr.Intern(b)))) == Unsat
 }
 
 // Equivalent reports whether a and b are logically equivalent.
@@ -191,6 +218,47 @@ func (c *CachedChecker) Equivalent(a, b expr.Expr) bool {
 // whose conjunction is unsatisfiable.
 func (c *CachedChecker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
 	return unsatCore(c, parts)
+}
+
+// NewSession opens an incremental session for conjunctions with phi. The
+// session itself is single-goroutine, but it reads and populates the
+// shared sharded cache, so concurrent sessions (one per frontier worker)
+// still share verdicts.
+func (c *CachedChecker) NewSession(phi expr.ID) *Session {
+	return &Session{
+		core: c.inner,
+		phi:  phi,
+		lookup: func(id expr.ID) (Result, bool) {
+			sh := c.shard(id)
+			sh.mu.RLock()
+			r, ok := sh.m[id]
+			sh.mu.RUnlock()
+			return r, ok
+		},
+		store: func(id expr.ID, r Result) {
+			sh := c.shard(id)
+			sh.mu.Lock()
+			sh.m[id] = r
+			sh.mu.Unlock()
+		},
+		onHit: func() {
+			c.hits.Add(1)
+			c.cHits.Inc()
+		},
+		onMiss: func() {
+			c.misses.Add(1)
+			c.cMisses.Inc()
+		},
+		onFast: func() {
+			c.fastpath.Add(1)
+			c.cFast.Inc()
+		},
+		run: c.instrumented,
+		solveFresh: func(id expr.ID) Result {
+			r, _ := c.inner.solve(id, false)
+			return r
+		},
+	}
 }
 
 // Compile-time interface checks.

@@ -1,0 +1,80 @@
+package smt
+
+import (
+	"testing"
+
+	"circ/internal/expr"
+)
+
+// BenchmarkCacheHit measures the hot cache-hit path: CachedChecker.Sat on
+// a formula in canonical interned form. The lookup is an arena walk plus
+// one shard map probe keyed by ID — no string construction; the
+// acceptance bar is ≤ 1 alloc/op.
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCachedChecker()
+	f := expr.Conj(
+		expr.Le(expr.Num(0), expr.V("x")),
+		expr.Lt(expr.V("x"), expr.Num(10)),
+		expr.Eq(expr.V("lock"), expr.Num(1)),
+	)
+	canon := expr.FromID(expr.Intern(f))
+	if got := c.Sat(canon); got != Sat {
+		b.Fatalf("warmup verdict = %v, want sat", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Sat(canon) != Sat {
+			b.Fatal("verdict drift on cache hit")
+		}
+	}
+}
+
+// BenchmarkCacheHitID is the same hit served straight from an interned
+// ID, the form the analysis layers use: constant check, shard RLock, map
+// probe. Zero allocations.
+func BenchmarkCacheHitID(b *testing.B) {
+	c := NewCachedChecker()
+	id := expr.Intern(expr.Conj(
+		expr.Le(expr.Num(0), expr.V("y")),
+		expr.Lt(expr.V("y"), expr.Num(4)),
+	))
+	if got := c.SatID(id); got != Sat {
+		b.Fatalf("warmup verdict = %v, want sat", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.SatID(id) != Sat {
+			b.Fatal("verdict drift on cache hit")
+		}
+	}
+}
+
+// BenchmarkSessionCube measures an incremental session's cube loop on a
+// warm cache — the shape of every abstract-post computation.
+func BenchmarkSessionCube(b *testing.B) {
+	c := NewCachedChecker()
+	x := expr.V("x")
+	preds := []expr.ID{
+		expr.Intern(expr.Lt(x, expr.Num(0))),
+		expr.Intern(expr.Eq(x, expr.Num(0))),
+		expr.Intern(expr.Lt(expr.Num(5), x)),
+		expr.Intern(expr.Le(expr.Num(10), x)),
+	}
+	phi := expr.IDConj(expr.Intern(expr.Le(expr.Num(1), x)), expr.Intern(expr.Le(x, expr.Num(3))))
+	sess := c.NewSession(phi)
+	for _, p := range preds {
+		sess.SatConj(p)
+		sess.SatConj(expr.InternNot(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := c.NewSession(phi)
+		for _, p := range preds {
+			s.SatConj(p)
+			s.SatConj(expr.InternNot(p))
+		}
+	}
+}

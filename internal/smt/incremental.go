@@ -1,0 +1,148 @@
+package smt
+
+import (
+	"sync/atomic"
+
+	"circ/internal/expr"
+	"circ/internal/smt/sat"
+)
+
+// Session is an incremental solving context for the predicate-abstraction
+// cube loop: a run of queries of the form Sat(phi ∧ lit) where phi is
+// fixed and lit varies over predicate literals. Instead of building a
+// fresh SAT instance per query, the session encodes phi once into one
+// persistent solver and discharges each conjunction under an assumption
+// literal, so Tseitin structure, theory atoms, theory blocking clauses,
+// and CDCL-learned clauses are all shared across the enumeration.
+//
+// Determinism contract: SatConj(lit) returns exactly the verdict that
+// SatID(IDConj(phi, lit)) would, and stores it in the owning checker's
+// cache under that ID. Sat/Unsat answers from the shared solver are sound
+// and procedure-independent; only Unknown (a budget artifact) could
+// depend on session history, so an incremental Unknown is re-derived with
+// a from-scratch solve before caching. Cached entries therefore remain a
+// pure function of the formula, and verdicts are identical at any
+// parallelism.
+//
+// A Session is single-goroutine, like the query it wraps. Concurrent
+// callers each open their own session (the caches behind lookup/store are
+// the concurrency-safe layer).
+type Session struct {
+	core *Checker
+	phi  expr.ID
+
+	// Cache plumbing, provided by the owning checker.
+	lookup func(expr.ID) (Result, bool)
+	store  func(expr.ID, Result)
+	onHit  func()
+	onMiss func()
+	onFast func()
+	// run wraps each incremental miss-solve, for instrumentation.
+	run func(func() Result) Result
+	// solveFresh performs an uninstrumented from-scratch solve (the
+	// deterministic fallback for incremental Unknowns).
+	solveFresh func(expr.ID) Result
+
+	q       *query
+	started bool
+	baseBad bool // phi's clause database is unsatisfiable outright
+	broken  bool // phi failed to encode; degrade to from-scratch solving
+}
+
+// Phi returns the fixed conjunct of the session.
+func (s *Session) Phi() expr.ID { return s.phi }
+
+// SatConj reports the satisfiability of phi ∧ lit. Constant collapses
+// (interning detects complementary literals and folds constants) resolve
+// without touching cache or solver; cached verdicts return without
+// solving; everything else is one assumption-based incremental solve.
+func (s *Session) SatConj(lit expr.ID) Result {
+	qid := expr.IDConj(s.phi, lit)
+	if v, ok := expr.IDBoolValue(qid); ok {
+		if s.onFast != nil {
+			s.onFast()
+		}
+		if v {
+			return Sat
+		}
+		return Unsat
+	}
+	if r, ok := s.lookup(qid); ok {
+		if s.onHit != nil {
+			s.onHit()
+		}
+		return r
+	}
+	if s.onMiss != nil {
+		s.onMiss()
+	}
+	solve := func() Result {
+		r := s.solveAssuming(lit)
+		if r == Unknown {
+			// Unknown is the one verdict that can depend on session
+			// history (shared budgets, learned-clause order). Re-derive it
+			// from scratch so the cached result is a pure function of qid.
+			r = s.solveFresh(qid)
+		}
+		return r
+	}
+	var r Result
+	if s.run != nil {
+		r = s.run(solve)
+	} else {
+		r = solve()
+	}
+	s.store(qid, r)
+	return r
+}
+
+// ImpliesLit reports whether phi entails the interned formula b, via
+// SatConj(¬b) == Unsat. This is the shape of every cube-strengthening
+// query in predicate abstraction.
+func (s *Session) ImpliesLit(b expr.ID) bool {
+	return s.SatConj(expr.InternNot(b)) == Unsat
+}
+
+// solveAssuming discharges phi ∧ lit on the persistent solver with lit's
+// encoding as an assumption. Returns Unknown on any encode failure or
+// budget exhaustion; the caller falls back to a from-scratch solve.
+func (s *Session) solveAssuming(lit expr.ID) Result {
+	if s.broken {
+		return Unknown
+	}
+	c := s.core
+	if !s.started {
+		s.started = true
+		s.q = c.newQuery()
+		root, err := s.q.encodeID(s.phi)
+		if err != nil {
+			s.broken = true
+			return Unknown
+		}
+		if !s.q.solver.AddClause(root) {
+			s.baseBad = true
+		} else if ok, err := s.q.addAckermann(); err != nil {
+			s.broken = true
+			return Unknown
+		} else if !ok {
+			s.baseBad = true
+		}
+	}
+	if s.baseBad {
+		// phi alone is unsatisfiable, so every conjunction is.
+		return Unsat
+	}
+	atomic.AddInt64(&c.Stats.Queries, 1)
+	l, err := s.q.encodeID(lit)
+	if err != nil {
+		return Unknown
+	}
+	if ok, err := s.q.addAckermann(); err != nil {
+		return Unknown
+	} else if !ok {
+		s.baseBad = true
+		return Unsat
+	}
+	r, _ := c.dpll(s.q, []sat.Lit{l}, false)
+	return r
+}

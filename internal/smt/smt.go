@@ -66,6 +66,9 @@ type Stats struct {
 type Solver interface {
 	// Sat reports the satisfiability of f.
 	Sat(f expr.Expr) Result
+	// SatID reports the satisfiability of the interned formula id. This is
+	// the allocation-free hot path: the cache key is the ID itself.
+	SatID(id expr.ID) Result
 	// SatModel reports satisfiability and, when Sat, an integer model.
 	SatModel(f expr.Expr) (Result, map[string]int64)
 	// Valid reports whether f is valid (Unknown degrades to false).
@@ -76,6 +79,11 @@ type Solver interface {
 	Equivalent(a, b expr.Expr) bool
 	// UnsatCore returns a minimal unsatisfiable subset of parts.
 	UnsatCore(parts []expr.Expr) (core []int, ok bool)
+	// NewSession opens an incremental solving session for conjunctions of
+	// phi with varying literals (the predicate-abstraction cube loop).
+	// Verdicts and cache contents are identical to issuing the equivalent
+	// SatID(IDConj(phi, lit)) calls, just cheaper.
+	NewSession(phi expr.ID) *Session
 }
 
 // Checker is a memoising SMT front door. The zero value is not usable;
@@ -83,7 +91,7 @@ type Solver interface {
 // concurrent callers use CachedChecker, which shares the same solving core
 // behind a sharded concurrent cache.
 type Checker struct {
-	cache map[string]Result
+	cache map[expr.ID]Result
 	// Budgets; zero selects a sensible default.
 	MaxPivots int // simplex pivots per theory check
 	MaxNodes  int // branch-and-bound nodes per theory check
@@ -94,7 +102,7 @@ type Checker struct {
 // NewChecker returns a Checker with default budgets.
 func NewChecker() *Checker {
 	return &Checker{
-		cache:     make(map[string]Result),
+		cache:     make(map[expr.ID]Result),
 		MaxPivots: 200000,
 		MaxNodes:  400,
 		MaxLoops:  20000,
@@ -112,41 +120,75 @@ func (c *Checker) Snapshot() Stats {
 	}
 }
 
-// Sat reports the satisfiability of formula f.
+// Sat reports the satisfiability of formula f. Interning canonicalises f
+// (a superset of Simplify), so logically-trivial formulas resolve without
+// touching the cache or the solver.
 func (c *Checker) Sat(f expr.Expr) Result {
-	f = expr.Simplify(f)
-	key := f.Key()
-	if r, ok := c.cache[key]; ok {
+	if id, ok := expr.LookupID(f); ok {
+		return c.SatID(id)
+	}
+	return c.SatID(expr.Intern(f))
+}
+
+// SatID reports the satisfiability of the interned formula id.
+func (c *Checker) SatID(id expr.ID) Result {
+	if v, ok := expr.IDBoolValue(id); ok {
+		if v {
+			return Sat
+		}
+		return Unsat
+	}
+	if r, ok := c.cache[id]; ok {
 		atomic.AddInt64(&c.Stats.CacheHits, 1)
 		return r
 	}
-	r, _ := c.solve(f, false)
-	c.cache[key] = r
+	r, _ := c.solve(id, false)
+	c.cache[id] = r
 	return r
 }
 
 // SatModel reports satisfiability and, when Sat, an integer model.
 func (c *Checker) SatModel(f expr.Expr) (Result, map[string]int64) {
-	f = expr.Simplify(f)
-	r, m := c.solve(f, true)
-	c.cache[f.Key()] = r
+	id := expr.Intern(f)
+	r, m := c.solve(id, true)
+	c.cache[id] = r
 	return r, m
 }
 
 // Valid reports whether f is valid. Unknown degrades to false ("cannot
 // prove"), which is the sound direction for abstraction.
 func (c *Checker) Valid(f expr.Expr) bool {
-	return c.Sat(expr.Negate(f)) == Unsat
+	return c.SatID(expr.InternNot(expr.Intern(f))) == Unsat
 }
 
 // Implies reports whether a entails b.
 func (c *Checker) Implies(a, b expr.Expr) bool {
-	return c.Sat(expr.Conj(a, expr.Negate(b))) == Unsat
+	return c.SatID(expr.IDConj(expr.Intern(a), expr.InternNot(expr.Intern(b)))) == Unsat
 }
 
 // Equivalent reports whether a and b are logically equivalent.
 func (c *Checker) Equivalent(a, b expr.Expr) bool {
 	return c.Implies(a, b) && c.Implies(b, a)
+}
+
+// NewSession opens an incremental session for conjunctions with phi,
+// backed by this checker's cache. Not safe for concurrent use, matching
+// Checker itself.
+func (c *Checker) NewSession(phi expr.ID) *Session {
+	return &Session{
+		core: c,
+		phi:  phi,
+		lookup: func(id expr.ID) (Result, bool) {
+			r, ok := c.cache[id]
+			return r, ok
+		},
+		store: func(id expr.ID, r Result) { c.cache[id] = r },
+		onHit: func() { atomic.AddInt64(&c.Stats.CacheHits, 1) },
+		solveFresh: func(id expr.ID) Result {
+			r, _ := c.solve(id, false)
+			return r
+		},
+	}
 }
 
 // UnsatCore returns the indices of a minimal (irreducible) subset of parts
@@ -220,12 +262,12 @@ func atomKey(coeffs map[string]int64, rhs int64, eq bool) string {
 type query struct {
 	chk    *Checker
 	solver *sat.Solver
-	atoms  []*tAtom           // indexed by atom id
-	atomID map[string]int     // atom key -> id
-	atomV  map[int]int        // atom id -> sat var
-	enc    map[string]sat.Lit // Tseitin memo by expr key
-	nlName map[string]string  // nonlinear subterm key -> fresh var name
-	nlList []expr.Expr        // abstracted products, for Ackermann lemmas
+	atoms  []*tAtom            // indexed by atom id
+	atomID map[string]int      // atom key -> id
+	atomV  map[int]int         // atom id -> sat var
+	enc    map[expr.ID]sat.Lit // Tseitin memo by interned formula ID
+	nlName map[expr.ID]string  // nonlinear subterm ID -> fresh var name
+	nlList []expr.ID           // abstracted products, for Ackermann lemmas
 }
 
 func (c *Checker) newQuery() *query {
@@ -234,19 +276,19 @@ func (c *Checker) newQuery() *query {
 		solver: sat.New(),
 		atomID: make(map[string]int),
 		atomV:  make(map[int]int),
-		enc:    make(map[string]sat.Lit),
-		nlName: make(map[string]string),
+		enc:    make(map[expr.ID]sat.Lit),
+		nlName: make(map[expr.ID]string),
 	}
 }
 
 func (q *query) abstractNonlinear(e expr.Expr) string {
-	k := e.Key()
-	if n, ok := q.nlName[k]; ok {
+	id := expr.Intern(e)
+	if n, ok := q.nlName[id]; ok {
 		return n
 	}
 	n := fmt.Sprintf("$nl%d", len(q.nlName))
-	q.nlName[k] = n
-	q.nlList = append(q.nlList, e)
+	q.nlName[id] = n
+	q.nlList = append(q.nlList, id)
 	return n
 }
 
@@ -304,36 +346,38 @@ func negateCoeffs(m map[string]int64) map[string]int64 {
 	return out
 }
 
-// encode Tseitin-encodes formula e and returns its literal.
-func (q *query) encode(e expr.Expr) (sat.Lit, error) {
-	key := e.Key()
-	if l, ok := q.enc[key]; ok {
+// encodeID Tseitin-encodes the interned formula id and returns its
+// literal. The memo is keyed by ID, so re-encoding shared structure (and,
+// in incremental sessions, whole repeated queries) is a map hit.
+func (q *query) encodeID(id expr.ID) (sat.Lit, error) {
+	if l, ok := q.enc[id]; ok {
 		return l, nil
 	}
+	view := expr.IDView(id)
 	var lit sat.Lit
-	switch g := e.(type) {
-	case expr.Bool:
+	switch view.Kind {
+	case expr.KindBool:
 		v := q.solver.NewVar()
-		q.solver.AddClause(sat.MkLit(v, !g.Value))
+		q.solver.AddClause(sat.MkLit(v, !view.Bool))
 		lit = sat.MkLit(v, false)
-	case expr.Cmp:
-		l, err := q.atomLit(g)
+	case expr.KindCmp:
+		l, err := q.atomLit(expr.FromID(id).(expr.Cmp))
 		if err != nil {
 			return 0, err
 		}
 		lit = l
-	case expr.Not:
-		l, err := q.encode(g.X)
+	case expr.KindNot:
+		l, err := q.encodeID(view.Kids[0])
 		if err != nil {
 			return 0, err
 		}
 		lit = l.Not()
-	case expr.And:
+	case expr.KindAnd:
 		v := q.solver.NewVar()
 		lv := sat.MkLit(v, false)
 		long := []sat.Lit{lv}
-		for _, x := range g.Xs {
-			lx, err := q.encode(x)
+		for _, x := range view.Kids {
+			lx, err := q.encodeID(x)
 			if err != nil {
 				return 0, err
 			}
@@ -342,12 +386,12 @@ func (q *query) encode(e expr.Expr) (sat.Lit, error) {
 		}
 		q.solver.AddClause(long...)
 		lit = lv
-	case expr.Or:
+	case expr.KindOr:
 		v := q.solver.NewVar()
 		lv := sat.MkLit(v, false)
 		long := []sat.Lit{lv.Not()}
-		for _, x := range g.Xs {
-			lx, err := q.encode(x)
+		for _, x := range view.Kids {
+			lx, err := q.encodeID(x)
 			if err != nil {
 				return 0, err
 			}
@@ -357,9 +401,9 @@ func (q *query) encode(e expr.Expr) (sat.Lit, error) {
 		q.solver.AddClause(long...)
 		lit = lv
 	default:
-		return 0, fmt.Errorf("smt: cannot encode %T as formula", e)
+		return 0, fmt.Errorf("smt: cannot encode %v as formula", view.Kind)
 	}
-	q.enc[key] = lit
+	q.enc[id] = lit
 	return lit, nil
 }
 
@@ -369,11 +413,11 @@ func (q *query) encode(e expr.Expr) (sat.Lit, error) {
 func (q *query) ackermannLemmas() []expr.Expr {
 	var lemmas []expr.Expr
 	for i := 0; i < len(q.nlList); i++ {
-		bi := q.nlList[i].(expr.Bin)
-		vi := expr.V(q.nlName[q.nlList[i].Key()])
+		bi := expr.FromID(q.nlList[i]).(expr.Bin)
+		vi := expr.V(q.nlName[q.nlList[i]])
 		for j := i + 1; j < len(q.nlList); j++ {
-			bj := q.nlList[j].(expr.Bin)
-			vj := expr.V(q.nlName[q.nlList[j].Key()])
+			bj := expr.FromID(q.nlList[j]).(expr.Bin)
+			vj := expr.V(q.nlName[q.nlList[j]])
 			same := expr.Conj(expr.Eq(bi.X, bj.X), expr.Eq(bi.Y, bj.Y))
 			lemmas = append(lemmas, expr.Implies(same, expr.Eq(vi, vj)))
 			commuted := expr.Conj(expr.Eq(bi.X, bj.Y), expr.Eq(bi.Y, bj.X))
@@ -383,43 +427,66 @@ func (q *query) ackermannLemmas() []expr.Expr {
 	return lemmas
 }
 
-// solve runs the lazy DPLL(T) loop.
-func (c *Checker) solve(f expr.Expr, wantModel bool) (Result, map[string]int64) {
+// addAckermann encodes and asserts functional-consistency lemmas for all
+// abstracted nonlinear products. Lemmas reference abstraction names
+// created during encoding, and encoding them may abstract further
+// products, so it iterates to a fixpoint. Re-asserting an already-known
+// lemma is a no-op (the encoder memo returns the same unit literal), so
+// incremental sessions call this after every new encode. It returns
+// ok=false when the clause database became unsatisfiable and a non-nil
+// error when a lemma failed to encode.
+func (q *query) addAckermann() (bool, error) {
+	done := 0
+	for done < len(q.nlList) {
+		lemmas := q.ackermannLemmas()
+		done = len(q.nlList)
+		for _, lem := range lemmas {
+			ll, err := q.encodeID(expr.Intern(lem))
+			if err != nil {
+				return false, err
+			}
+			if !q.solver.AddClause(ll) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// solve runs the lazy DPLL(T) loop on a fresh solver instance.
+func (c *Checker) solve(id expr.ID, wantModel bool) (Result, map[string]int64) {
 	atomic.AddInt64(&c.Stats.Queries, 1)
-	switch g := f.(type) {
-	case expr.Bool:
-		if g.Value {
+	if v, ok := expr.IDBoolValue(id); ok {
+		if v {
 			return Sat, map[string]int64{}
 		}
 		return Unsat, nil
 	}
 	q := c.newQuery()
-	root, err := q.encode(f)
+	root, err := q.encodeID(id)
 	if err != nil {
 		return Unknown, nil
 	}
 	if !q.solver.AddClause(root) {
 		return Unsat, nil
 	}
-	// Ackermann lemmas reference abstraction names created during the first
-	// encode; encoding them may abstract further products, so iterate.
-	done := 0
-	for done < len(q.nlList) {
-		lemmas := q.ackermannLemmas()
-		done = len(q.nlList)
-		for _, lem := range lemmas {
-			ll, err := q.encode(expr.Simplify(lem))
-			if err != nil {
-				return Unknown, nil
-			}
-			if !q.solver.AddClause(ll) {
-				return Unsat, nil
-			}
-		}
+	if ok, err := q.addAckermann(); err != nil {
+		return Unknown, nil
+	} else if !ok {
+		return Unsat, nil
 	}
+	return c.dpll(q, nil, wantModel)
+}
 
+// dpll is the lazy theory-refinement loop: SAT-solve (under optional
+// assumptions), theory-check the asserted atoms, block irreducible
+// conflicts, repeat. Blocking clauses are theory-valid lemmas, so they —
+// and the solver's learned clauses — remain sound for later queries
+// against the same clause database, which is what makes incremental
+// sessions possible.
+func (c *Checker) dpll(q *query, assumptions []sat.Lit, wantModel bool) (Result, map[string]int64) {
 	for iter := 0; iter < c.MaxLoops; iter++ {
-		switch q.solver.Solve() {
+		switch q.solver.Solve(assumptions...) {
 		case sat.Unsat:
 			return Unsat, nil
 		case sat.Unknown:
