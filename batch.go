@@ -9,6 +9,7 @@ import (
 
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
+	"circ/internal/journal"
 	"circ/internal/smt"
 	"circ/internal/telemetry"
 )
@@ -158,6 +159,25 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 	if c.tracer != nil {
 		ctx = telemetry.NewContext(ctx, c.tracer)
 	}
+	// Flight recorder: one stream per target, registered sequentially here
+	// so every case appears queued (in deterministic program order) before
+	// any worker starts. Multi-target batches share the SMT solver across
+	// concurrently-running units, so their streams suppress per-phase
+	// solver deltas — suppressed at every worker count, keeping the journal
+	// independent of the parallelism setting.
+	var streams []*journal.Stream
+	if c.journal != nil {
+		streams = make([]*journal.Stream, len(targets))
+		for i, t := range targets {
+			name := journalCase(t.Thread, t.Variable)
+			if len(targets) > 1 {
+				streams[i] = c.journal.StreamShared(name)
+			} else {
+				streams[i] = c.journal.Stream(name)
+			}
+			streams[i].Emit(journal.Event{Type: journal.EvCaseQueued})
+		}
+	}
 	bctx, bsp := telemetry.StartSpan(ctx, "batch")
 	bsp.Annotate("units", len(targets))
 	bsp.Annotate("workers", workers)
@@ -175,6 +195,14 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 				unitStart := time.Now()
 				uctx, usp := telemetry.StartSpan(bctx, "unit")
 				usp.Annotate("target", t.String())
+				var s *journal.Stream
+				if streams != nil {
+					s = streams[i]
+				}
+				s.Emit(journal.Event{Type: journal.EvCaseStarted})
+				if s.Enabled() {
+					uctx = journal.NewContext(uctx, s)
+				}
 				var rep *Report
 				err := prebuildErr[i]
 				if err == nil {
@@ -186,6 +214,17 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 						rep, err = icirc.Check(uctx, cfas[i], t.Variable, o, c.solver)
 					}
 				}
+				done := journal.Event{Type: journal.EvCaseDone}
+				switch {
+				case rep != nil:
+					done.Verdict = rep.Verdict.String()
+				default:
+					done.Verdict = "error"
+					if err != nil {
+						done.Reason = err.Error()
+					}
+				}
+				s.Emit(done)
 				usp.End()
 				elapsed := time.Since(unitStart)
 				cUnits.Inc()

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"strings"
 
@@ -48,6 +49,7 @@ import (
 	icirc "circ/internal/circ"
 	"circ/internal/explicit"
 	"circ/internal/flowcheck"
+	"circ/internal/journal"
 	"circ/internal/lang"
 	"circ/internal/lockset"
 	"circ/internal/param"
@@ -111,6 +113,27 @@ type (
 
 // NewTracer returns a span tracer whose timebase starts now.
 func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// Flight-recorder surface (implemented in internal/journal).
+type (
+	// Journal is the structured inference flight recorder: one typed event
+	// per semantic step of the analysis (iterations, trace verdicts,
+	// predicate discoveries with their provenance, counter widenings,
+	// bisimulation collapses, per-phase solver work). Attach one with
+	// WithJournal, serialize it with Journal.WriteJSONL — the output is
+	// byte-identical at any parallelism — and render it with RenderHTML.
+	Journal = journal.Recorder
+	// JournalEvent is one recorded flight-recorder event.
+	JournalEvent = journal.Event
+)
+
+// NewJournal returns an empty flight recorder.
+func NewJournal() *Journal { return journal.New() }
+
+// MountJournal registers the live observability endpoints on mux:
+// /debug/circ/progress (JSON per-case batch state) and /debug/circ/events
+// (the journal as a server-sent event stream: full replay, then live).
+func MountJournal(mux *http.ServeMux, j *Journal) { journal.Mount(mux, j) }
 
 // Sentinel errors, matchable with errors.Is.
 var (
@@ -196,6 +219,7 @@ type Checker struct {
 	maxInner    int
 	maxStates   int
 	solver      *smt.CachedChecker
+	journal     *journal.Recorder
 }
 
 // Option configures a Checker.
@@ -242,6 +266,16 @@ func WithTracer(tr *Tracer) Option { return func(c *Checker) { c.tracer = tr } }
 // expanded by at most n workers. n <= 0 selects GOMAXPROCS (the default).
 // Verdicts are identical at any parallelism.
 func WithParallelism(n int) Option { return func(c *Checker) { c.parallelism = n } }
+
+// WithJournal attaches a flight recorder: every analysis run through the
+// Checker emits its inference events (one case per (thread, variable)
+// unit) into j. A nil journal (the default) costs one nil check per
+// instrumentation point. Serialize with Journal.WriteJSONL, watch live via
+// MountJournal, render with the journal package's RenderHTML.
+func WithJournal(j *Journal) Option { return func(c *Checker) { c.journal = j } }
+
+// Journal returns the attached flight recorder, or nil.
+func (c *Checker) Journal() *Journal { return c.journal }
 
 // WithBudgets bounds the analysis: maximum refinement rounds, inner
 // context-weakening rounds, and abstract states per reachability run.
@@ -310,7 +344,19 @@ func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string
 	if c.tracer != nil {
 		ctx = telemetry.NewContext(ctx, c.tracer)
 	}
+	if c.journal != nil {
+		ctx = journal.NewContext(ctx, c.journal.Stream(journalCase(thread, variable)))
+	}
 	return icirc.Check(ctx, g, variable, c.options(c.logger, c.parallelism), c.solver)
+}
+
+// journalCase names the journal case of one (thread, variable) analysis;
+// the empty thread (single-thread programs) contributes no prefix.
+func journalCase(thread, variable string) string {
+	if thread == "" {
+		return variable
+	}
+	return thread + "/" + variable
 }
 
 // CheckSource is Check for unparsed source text.

@@ -8,8 +8,12 @@
 //
 // Observability flags: -trace out.json writes a Chrome trace_event span
 // trace (open in chrome://tracing or Perfetto), -metrics out.json writes a
-// metrics-registry snapshot, and -pprof addr serves net/http/pprof plus
-// expvar (live metrics at /debug/vars) for the duration of the run.
+// metrics-registry snapshot, -journal out.jsonl writes the structured
+// inference journal (one JSON event per line, byte-identical at any
+// -parallel), -report out.html renders a self-contained HTML race report,
+// and -pprof addr serves net/http/pprof plus expvar (live metrics at
+// /debug/vars) and the live journal endpoints (/debug/circ/progress,
+// /debug/circ/events) for the duration of the run.
 //
 // Exit status: 0 when race freedom is proved, 1 when a genuine race is
 // found, 2 on "unknown", 3 on usage or input errors.
@@ -27,6 +31,7 @@ import (
 	"strings"
 
 	"circ"
+	"circ/internal/journal"
 	"circ/internal/refine"
 )
 
@@ -60,7 +65,9 @@ func run(args []string) int {
 		verify    = fs.Bool("verify", false, "independently re-check a safe verdict's certificate (Algorithm Check)")
 		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
 		metrics   = fs.String("metrics", "", "write a JSON metrics-registry snapshot to this file")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		jsonlOut  = fs.String("journal", "", "write the structured inference journal (JSONL) to this file")
+		htmlOut   = fs.String("report", "", "write a self-contained HTML race report to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof, expvar, and /debug/circ on this address (e.g. localhost:6060)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: circ -var x [flags] prog.mn\n")
@@ -93,28 +100,40 @@ func run(args []string) int {
 		tracer = circ.NewTracer()
 		opts = append(opts, circ.WithTracer(tracer))
 	}
+	// The flight recorder backs -journal, -report, and the live /debug/circ
+	// endpoints; it is created whenever any of the three wants it.
+	var jr *circ.Journal
+	if *jsonlOut != "" || *htmlOut != "" || *pprofAddr != "" {
+		jr = circ.NewJournal()
+		opts = append(opts, circ.WithJournal(jr))
+	}
 	// One checker for the whole invocation: with -all, SMT answers
 	// discharged for one variable are reused for the next.
 	chk := circ.NewChecker(opts...)
 	if *pprofAddr != "" {
 		chk.Metrics().PublishExpvar("circ")
+		circ.MountJournal(http.DefaultServeMux, jr)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "circ: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pprof+expvar server on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "pprof+expvar+journal server on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	vars := []string{*varName}
 	if *all {
 		vars = prog.Globals()
 	}
 	worst := 0
+	var sections []journal.CaseSection
+	counts := map[string]int{}
 	for _, v := range vars {
-		code := checkOne(chk, prog, string(src), v, *thread, *verbose, *baselines, *dotOut, *verify)
+		code, sec := checkOne(chk, prog, string(src), v, *thread, *verbose, *baselines, *dotOut, *verify)
 		if code > worst {
 			worst = code
 		}
+		sections = append(sections, sec)
+		counts[sec.Verdict]++
 	}
 	if *traceOut != "" {
 		if err := tracer.ExportFile(*traceOut); err != nil {
@@ -135,15 +154,84 @@ func run(args []string) int {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metrics)
 	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err == nil {
+			err = jr.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			cliErr(err)
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *jsonlOut, jr.Len())
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err == nil {
+			err = journal.RenderHTML(f, journal.HTMLData{
+				Title:   "circ race report: " + fs.Arg(0),
+				Summary: verdictSummary(counts),
+				Cases:   sections,
+				Events:  jr.Events(),
+			})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			cliErr(err)
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
 	return worst
 }
 
-func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string, verbose, baselines bool, dotOut string, verify bool) int {
+// verdictSummary renders the per-verdict case counts ("2 safe, 1 unsafe").
+func verdictSummary(counts map[string]int) string {
+	var parts []string
+	for _, v := range []string{"safe", "unsafe", "unknown", "error"} {
+		if n := counts[v]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "no cases"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// caseName mirrors the engine's journal case naming for one (thread,
+// variable) unit, so HTML sections line up with journal events.
+func caseName(thread, varName string) string {
+	if thread == "" {
+		return varName
+	}
+	return thread + "/" + varName
+}
+
+func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string, verbose, baselines bool, dotOut string, verify bool) (int, journal.CaseSection) {
 	ctx := context.Background()
+	sec := journal.CaseSection{Name: caseName(thread, varName)}
 	rep, err := chk.Check(ctx, prog, thread, varName)
 	if err != nil {
 		cliErr(err)
-		return 3
+		sec.Verdict = "error"
+		sec.Summary = err.Error()
+		return 3, sec
+	}
+	sec.Verdict = rep.Verdict.String()
+	sec.Summary = rep.Summary()
+	for _, p := range rep.Preds {
+		sec.Preds = append(sec.Preds, p.String())
+	}
+	if a := rep.FinalACFA; a != nil {
+		sec.ACFAText, sec.ACFADot = a.String(), a.Dot()
+	} else if a := rep.LastACFA; a != nil {
+		sec.ACFAText, sec.ACFADot = a.String(), a.Dot()
 	}
 
 	switch rep.Verdict {
@@ -164,31 +252,46 @@ func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string
 				fmt.Println("certificate independently verified (Algorithm Check)")
 			case errors.As(err, &cerr):
 				fmt.Printf("CERTIFICATE REJECTED: %s check failed: %s\n", cerr.Obligation, cerr.Detail)
-				return 2
+				return 2, sec
 			default:
 				fmt.Fprintln(os.Stderr, "circ: certificate check:", err)
-				return 3
+				return 3, sec
 			}
 		}
 	case circ.Unsafe:
 		fmt.Printf("UNSAFE: race on %q; interleaved trace (T0 = main):\n", varName)
+		sec.Trace = rep.Race.String()
 		if rep.Witness != nil {
 			if c, err := prog.CFA(thread); err == nil {
-				fmt.Print(refine.FormatTraceWithWitness(c, rep.Race, rep.Witness))
-				break
+				sec.Trace = refine.FormatTraceWithWitness(c, rep.Race, rep.Witness)
 			}
 		}
-		fmt.Print(rep.Race)
+		fmt.Print(sec.Trace)
 	default:
 		fmt.Printf("UNKNOWN on %q: %s\n", varName, rep.Reason)
 	}
 	if dotOut != "" {
-		c, err := prog.CFA(thread)
-		if err == nil {
-			_ = os.WriteFile(dotOut+".cfa.dot", []byte(c.Dot()), 0o644)
+		// Export the thread CFA alongside the context model: the final
+		// (proved-sound) ACFA on safe, the last abstraction in force on
+		// unsafe/unknown. A failed write is a real CLI failure, not
+		// something to swallow.
+		write := func(path, data string) bool {
+			if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				cliErr(err)
+				return false
+			}
+			return true
 		}
-		if rep.FinalACFA != nil {
-			_ = os.WriteFile(dotOut+"."+varName+".acfa.dot", []byte(rep.FinalACFA.Dot()), 0o644)
+		c, err := prog.CFA(thread)
+		if err == nil && !write(dotOut+".cfa.dot", c.Dot()) {
+			return 3, sec
+		}
+		acfaDump := rep.FinalACFA
+		if acfaDump == nil {
+			acfaDump = rep.LastACFA
+		}
+		if acfaDump != nil && !write(dotOut+"."+varName+".acfa.dot", acfaDump.Dot()) {
+			return 3, sec
 		}
 	}
 
@@ -214,9 +317,9 @@ func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string
 
 	switch rep.Verdict {
 	case circ.Safe:
-		return 0
+		return 0, sec
 	case circ.Unsafe:
-		return 1
+		return 1, sec
 	}
-	return 2
+	return 2, sec
 }

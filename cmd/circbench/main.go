@@ -34,8 +34,10 @@ import (
 	icirc "circ/internal/circ"
 	"circ/internal/explicit"
 	"circ/internal/flowcheck"
+	"circ/internal/journal"
 	"circ/internal/lang"
 	"circ/internal/lockset"
+	"circ/internal/refine"
 	"circ/internal/smt"
 	"circ/internal/telemetry"
 )
@@ -46,7 +48,9 @@ var (
 	programDir = flag.String("programs", "examples/programs", "directory of .mn programs to include in -bench (skipped when missing)")
 	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
 	metricsOut = flag.String("metrics", "", "write a JSON metrics-registry snapshot to this file")
-	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	jsonlOut   = flag.String("journal", "", "write the structured inference journal (JSONL) to this file")
+	htmlOut    = flag.String("report", "", "write a self-contained HTML report of every analysis to this file")
+	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, expvar, and /debug/circ on this address (e.g. localhost:6060)")
 )
 
 // chk is the process-wide SMT layer: every phase shares it, so the
@@ -59,6 +63,14 @@ var (
 	reg     = telemetry.NewRegistry()
 	tracer  *telemetry.Tracer
 	baseCtx = context.Background()
+)
+
+// jr is the flight recorder behind -journal, -report, and the live
+// /debug/circ endpoints; jSections collects the per-analysis HTML panels.
+// Phases (and their analyses) run sequentially, so plain variables suffice.
+var (
+	jr        *journal.Recorder
+	jSections []journal.CaseSection
 )
 
 func parallelism() int {
@@ -81,8 +93,12 @@ func main() {
 		tracer = telemetry.NewTracer()
 		baseCtx = telemetry.NewContext(baseCtx, tracer)
 	}
+	if *jsonlOut != "" || *htmlOut != "" || *pprofAddr != "" {
+		jr = journal.New()
+	}
 	if *pprofAddr != "" {
 		reg.PublishExpvar("circ")
+		journal.Mount(http.DefaultServeMux, jr)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "circbench: pprof server:", err)
@@ -126,6 +142,39 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
 	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err == nil {
+			err = jr.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *jsonlOut, jr.Len())
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err == nil {
+			err = journal.RenderHTML(f, journal.HTMLData{
+				Title:   "circbench evaluation report",
+				Summary: fmt.Sprintf("%d analyses", len(jSections)),
+				Cases:   jSections,
+				Events:  jr.Events(),
+			})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
 }
 
 // phase runs fn under a span, records its wall-clock time into the metrics
@@ -138,8 +187,10 @@ func phase(name string, fn func()) {
 	ctx, sp := telemetry.StartSpan(baseCtx, "phase."+name)
 	start := time.Now()
 	phaseCtx = ctx
+	phaseName = name
 	fn()
 	phaseCtx = baseCtx
+	phaseName = ""
 	wall.Add(time.Since(start).Nanoseconds())
 	sp.End()
 	after := chk.Stats()
@@ -153,8 +204,51 @@ func phase(name string, fn func()) {
 }
 
 // phaseCtx carries the current phase's span so per-app analyses nest under
-// it in the trace. Phases run sequentially, so a plain variable suffices.
-var phaseCtx = context.Background()
+// it in the trace; phaseName prefixes journal case names (the table1 and
+// races phases reuse app names, and phase-qualified cases keep each
+// analysis's event sequence separate). Phases run sequentially, so plain
+// variables suffice.
+var (
+	phaseCtx  = context.Background()
+	phaseName string
+)
+
+// journalCtx opens a journal stream for one analysis named name under the
+// current phase, returning the context to analyse under and the stream.
+func journalCtx(ctx context.Context, name string) (context.Context, *journal.Stream) {
+	if jr == nil {
+		return ctx, nil
+	}
+	s := jr.Stream(phaseName + "/" + name)
+	return journal.NewContext(ctx, s), s
+}
+
+// recordSection appends one analysis's HTML report panel.
+func recordSection(name string, c *cfa.CFA, rep *icirc.Report) {
+	if jr == nil {
+		return
+	}
+	sec := journal.CaseSection{
+		Name:    name,
+		Verdict: rep.Verdict.String(),
+		Summary: rep.Summary(),
+	}
+	for _, p := range rep.Preds {
+		sec.Preds = append(sec.Preds, p.String())
+	}
+	if rep.Race != nil {
+		sec.Trace = rep.Race.String()
+		if rep.Witness != nil {
+			sec.Trace = refine.FormatTraceWithWitness(c, rep.Race, rep.Witness)
+		}
+	}
+	if a := rep.FinalACFA; a != nil {
+		sec.ACFAText, sec.ACFADot = a.String(), a.Dot()
+	} else if a := rep.LastACFA; a != nil {
+		sec.ACFAText, sec.ACFADot = a.String(), a.Dot()
+	}
+	jSections = append(jSections, sec)
+}
 
 func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 	_, c, err := app.Build()
@@ -162,13 +256,15 @@ func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
 	}
+	ctx, s := journalCtx(phaseCtx, app.Key())
 	start := time.Now()
-	rep, err := icirc.Check(phaseCtx, c, app.Variable,
+	rep, err := icirc.Check(ctx, c, app.Variable,
 		icirc.Options{Parallelism: parallelism(), Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
 	}
+	recordSection(s.Case(), c, rep)
 	return rep, c, time.Since(start)
 }
 
@@ -270,12 +366,14 @@ func runFigures() {
 	fmt.Println("-- Figure 1(b): the thread's CFA --")
 	fmt.Print(c)
 	fmt.Println("-- Figures 2-4: CIRC iterations (ARGs, minimised ACFAs, refinements) --")
-	rep, err := icirc.Check(phaseCtx, c, "x",
+	fctx, s := journalCtx(phaseCtx, "testandset/x")
+	rep, err := icirc.Check(fctx, c, "x",
 		icirc.Options{Logger: telemetry.NarrationLogger(os.Stdout), Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
 	}
+	recordSection(s.Case(), c, rep)
 	fmt.Println("-- Figure 1(c): the final inferred context ACFA --")
 	if rep.FinalACFA != nil {
 		fmt.Print(rep.FinalACFA)

@@ -7,10 +7,12 @@
 package bisim
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"circ/internal/acfa"
+	"circ/internal/journal"
 	"circ/internal/pred"
 	"circ/internal/reach"
 	"circ/internal/smt"
@@ -21,8 +23,9 @@ import (
 // quotient automaton and mu, the map from canonical ARG location ids to
 // quotient locations (needed by the refiner to concretise abstract paths).
 // reg, which may be nil, receives the quotient's size and duration
-// metrics.
-func Collapse(g *reach.ARG, chk smt.Solver, reg *telemetry.Registry) (*acfa.ACFA, map[int]acfa.Loc) {
+// metrics; when ctx carries a journal stream, the quotient's shrinkage is
+// recorded as an acfa_collapsed event.
+func Collapse(ctx context.Context, g *reach.ARG, chk smt.Solver, reg *telemetry.Registry) (*acfa.ACFA, map[int]acfa.Loc) {
 	start := time.Now()
 	argA, locMap := g.ToACFA()
 	quot, classOf := Quotient(argA, chk)
@@ -34,6 +37,11 @@ func Collapse(g *reach.ARG, chk smt.Solver, reg *telemetry.Registry) (*acfa.ACFA
 	reg.Counter("bisim.locs.in").Add(int64(argA.NumLocs()))
 	reg.Counter("bisim.locs.out").Add(int64(quot.NumLocs()))
 	reg.Histogram("bisim.collapse").Since(start)
+	journal.FromContext(ctx).Emit(journal.Event{
+		Type:       journal.EvACFACollapsed,
+		LocsBefore: argA.NumLocs(),
+		LocsAfter:  quot.NumLocs(),
+	})
 	return quot, mu
 }
 

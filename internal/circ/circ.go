@@ -19,11 +19,13 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"time"
 
 	"circ/internal/acfa"
 	"circ/internal/bisim"
 	"circ/internal/cfa"
 	"circ/internal/expr"
+	"circ/internal/journal"
 	"circ/internal/pred"
 	"circ/internal/reach"
 	"circ/internal/refine"
@@ -136,6 +138,12 @@ type Report struct {
 	K int
 	// FinalACFA is the inferred sound context model (Safe only).
 	FinalACFA *acfa.ACFA
+	// LastACFA is the most recent context model the inner loop worked
+	// under, whatever the verdict: for Safe reports it equals FinalACFA,
+	// for Unsafe and Unknown it is the abstraction in force when the
+	// analysis stopped — the model a dot export should show for non-safe
+	// outcomes.
+	LastACFA *acfa.ACFA
 	// Race is the genuine interleaved trace (Unsafe only).
 	Race *refine.Interleaving
 	// Witness is a satisfying SSA model of the race's trace formula; use
@@ -189,7 +197,11 @@ func (r *Report) metricsSuffix() string {
 	if iters == 0 && hits+misses == 0 {
 		return ""
 	}
-	return fmt.Sprintf(", %d iterations, smt hit rate %.1f%%", iters, 100*r.Metrics.SMTHitRate())
+	s := fmt.Sprintf(", %d iterations, smt hit rate %.1f%%", iters, 100*r.Metrics.SMTHitRate())
+	if h := r.Metrics.Histograms["refine.analyze"]; h.Count > 0 {
+		s += fmt.Sprintf(", refine p95 %s", h.Quantile(0.95).Round(100*time.Nanosecond))
+	}
+	return s
 }
 
 // Check runs CIRC on thread CFA c, verifying the absence of races on
@@ -214,7 +226,9 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 	if rep != nil {
 		unit.Gauge("circ.k").Set(int64(rep.K))
 		unit.Gauge("circ.preds").Set(int64(len(rep.Preds)))
-		if sc, ok := chk.(interface{ Stats() smt.CacheStats }); ok {
+		if pc, ok := chk.(interface{ PublishStats(*telemetry.Registry) }); ok {
+			pc.PublishStats(unit)
+		} else if sc, ok := chk.(interface{ Stats() smt.CacheStats }); ok {
 			st := sc.Stats()
 			unit.Gauge("smt.cache.hits").Set(st.Hits)
 			unit.Gauge("smt.cache.misses").Set(st.Misses)
@@ -222,6 +236,14 @@ func Check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 		}
 		rep.Metrics = unit.Snapshot()
 		sp.Annotate("verdict", rep.Verdict.String())
+		journal.FromContext(ctx).Emit(journal.Event{
+			Type:     journal.EvVerdict,
+			Verdict:  rep.Verdict.String(),
+			Reason:   rep.Reason,
+			K:        rep.K,
+			NumPreds: len(rep.Preds),
+			Rounds:   rep.Rounds,
+		})
 	}
 	sp.End()
 	return rep, err
@@ -252,6 +274,49 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 	k := opts.k()
 	rep := &Report{}
 
+	j := journal.FromContext(ctx)
+	for _, p := range opts.InitialPreds {
+		j.Emit(journal.Event{Type: journal.EvPredicateDiscovered, Outcome: "seeded", Pred: p.String()})
+	}
+	// beginPhase opens a per-phase solver-work measurement for the journal
+	// and returns the closure that emits it. Full smt.Stats deltas are only
+	// attributable (and only deterministic) when this analysis has
+	// exclusive use of the solver and the phase runs sequentially; the
+	// frontier-parallel reach phase passes cachedOnly, reporting just the
+	// cache-content growth, which stays deterministic under racing workers.
+	var solver interface {
+		Stats() smt.CacheStats
+		CacheSize() int
+	}
+	if j.ExclusiveSolver() {
+		solver, _ = chk.(interface {
+			Stats() smt.CacheStats
+			CacheSize() int
+		})
+	}
+	beginPhase := func(phase string, cachedOnly bool) func() {
+		if solver == nil {
+			return func() {}
+		}
+		before := solver.Stats()
+		sizeBefore := solver.CacheSize()
+		return func() {
+			after := solver.Stats()
+			e := journal.Event{
+				Type: journal.EvSMTPhaseStats, Phase: phase,
+				NewCached: int64(solver.CacheSize() - sizeBefore),
+			}
+			if !cachedOnly {
+				e.Queries = after.Solver.Queries - before.Solver.Queries
+				e.CacheHits = after.Hits - before.Hits
+				e.CacheMisses = after.Misses - before.Misses
+				e.TheoryChecks = after.Solver.TheoryChecks - before.Solver.TheoryChecks
+				e.SatConflicts = after.Solver.SatConflicts - before.Solver.SatConflicts
+			}
+			j.Emit(e)
+		}
+	}
+
 	// curSpan is the open per-iteration span; the deferred End covers the
 	// early-return paths (End is idempotent, and a nil span ignores it).
 	var curSpan *telemetry.Span
@@ -266,6 +331,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 		logInfo("== round", "round", round, "k", k, "preds", set.String())
 
 		A := acfa.Empty(set)
+		rep.LastACFA = A
 		var prevARG *reach.ARG
 		var mu map[int]acfa.Loc
 
@@ -275,10 +341,15 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				return nil, fmt.Errorf("circ: analysis cancelled: %w", err)
 			}
 			cIters.Inc()
+			j.Emit(journal.Event{
+				Type:  journal.EvIterationStart,
+				Round: round, Inner: inner, K: k, NumPreds: set.Len(),
+			})
 			ictx, isp := telemetry.StartSpan(ctx, "iteration")
 			curSpan = isp
 			isp.Annotate("round", round)
 			isp.Annotate("inner", inner)
+			reachDone := beginPhase("reach", true)
 			res, err := reach.ReachAndBuild(ictx, c, A, abs, raceVar, reach.Options{
 				K:           k,
 				ExactSeed:   opts.Omega,
@@ -287,6 +358,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				Parallelism: opts.Parallelism,
 				Metrics:     opts.Metrics,
 			})
+			reachDone()
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, fmt.Errorf("circ: analysis cancelled: %w", ctx.Err())
@@ -320,9 +392,16 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 					known[p.Key()] = true
 				}
 				var fresh []expr.Expr
+				// freshProv carries the provenance of each fresh predicate —
+				// the spurious trace and unsat-core atoms it was mined from —
+				// and is journalled only if the predicates are adopted below
+				// (a later genuine trace discards them, and the journal should
+				// record the abstraction that was actually used).
+				var freshProv []journal.Event
 				anyIncK := false
 				var lastTF []expr.Expr
 				var lastErr error
+				refineDone := beginPhase("refine", false)
 				_, rsp := telemetry.StartSpan(ictx, "refine")
 				for _, trace := range res.Races {
 					out, err := refine.Refine(refine.Input{
@@ -331,6 +410,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 						K: k, ExactSeed: opts.Omega, Chk: chk,
 						Strategy: opts.MineStrategy,
 						Metrics:  opts.Metrics,
+						Journal:  j,
 					})
 					if err != nil {
 						lastErr = err
@@ -339,6 +419,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 					switch out.Kind {
 					case refine.Real:
 						rsp.End()
+						refineDone()
 						info.RefineOutcome = out.Kind.String()
 						rep.History = append(rep.History, info)
 						logInfo("   genuine race", "trace", out.Interleaving.String())
@@ -353,21 +434,43 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 						anyIncK = true
 					case refine.NewPreds:
 						lastTF = out.TF
+						var traceStr string
+						var coreAtoms []string
+						if j.Enabled() {
+							traceStr = out.Interleaving.String()
+							for _, ci := range out.Core {
+								if ci >= 0 && ci < len(out.TF) {
+									coreAtoms = append(coreAtoms, out.TF[ci].String())
+								}
+							}
+						}
 						for _, p := range out.Preds {
 							if !known[p.Key()] {
 								known[p.Key()] = true
 								fresh = append(fresh, p)
+								if j.Enabled() {
+									freshProv = append(freshProv, journal.Event{
+										Type: journal.EvPredicateDiscovered, Outcome: "mined",
+										Pred:  p.String(),
+										Round: round, Inner: inner,
+										Trace: traceStr, Core: coreAtoms,
+									})
+								}
 							}
 						}
 					}
 				}
 				rsp.End()
+				refineDone()
 				switch {
 				case len(fresh) > 0:
 					info.RefineOutcome = "new-predicates"
 					logInfo("   spurious; new predicates", "preds", fmt.Sprintf("%v", fresh))
 					cPredsFound.Add(int64(len(fresh)))
 					preds = append(preds, fresh...)
+					for _, pe := range freshProv {
+						j.Emit(pe)
+					}
 					rep.TF = lastTF
 					advanceOuter = true
 				case anyIncK:
@@ -398,13 +501,17 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 			// No race reachable: guarantee check (CheckSim).
 			argACFA, _ := res.ARG.ToACFA()
 			_, ssp := telemetry.StartSpan(ictx, "simcheck")
+			simDone := beginPhase("simcheck", false)
 			simulates := simrel.Simulates(argACFA, A, chk)
+			simDone()
 			ssp.End()
 			if simulates {
 				rep.History = append(rep.History, info)
 				if opts.Omega {
 					_, osp := telemetry.StartSpan(ictx, "goodloc")
-					ok, err := goodLocationCheck(c, A, res.ARG, mu, k, chk, opts.Metrics)
+					glDone := beginPhase("goodloc", false)
+					ok, err := goodLocationCheck(ictx, c, A, res.ARG, mu, k, chk, opts.Metrics)
+					glDone()
 					osp.End()
 					if err != nil {
 						rep.Verdict = Unknown
@@ -432,14 +539,17 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 			}
 			// Weaken the context: A := Collapse(G).
 			_, csp := telemetry.StartSpan(ictx, "collapse")
+			colDone := beginPhase("collapse", false)
 			if opts.NoMinimize {
 				var locMap map[int]acfa.Loc
 				A, locMap = res.ARG.ToACFA()
 				mu = locMap
 			} else {
-				A, mu = bisim.Collapse(res.ARG, chk, opts.Metrics)
+				A, mu = bisim.Collapse(ictx, res.ARG, chk, opts.Metrics)
 			}
+			colDone()
 			csp.End()
+			rep.LastACFA = A
 			prevARG = res.ARG
 			info.ACFALocs = A.NumLocs()
 			rep.History = append(rep.History, info)

@@ -1,6 +1,7 @@
 package circ
 
 import (
+	"context"
 	"fmt"
 
 	"circ/internal/acfa"
@@ -32,10 +33,10 @@ import (
 // The data makes label-encoded mutual exclusion visible (e.g. two threads
 // can never both occupy the critical-section locations), without which the
 // check would fail spuriously and k would diverge.
-func goodLocationCheck(c *cfa.CFA, a *acfa.ACFA, g *reach.ARG, mu map[int]acfa.Loc, k int, chk smt.Solver, reg *telemetry.Registry) (bool, error) {
+func goodLocationCheck(ctx context.Context, c *cfa.CFA, a *acfa.ACFA, g *reach.ARG, mu map[int]acfa.Loc, k int, chk smt.Solver, reg *telemetry.Registry) (bool, error) {
 	_, _, _ = c, a, mu
 	// Re-collapse the final ARG so locations and classes line up.
-	quot, muq := bisim.Collapse(g, chk, reg)
+	quot, muq := bisim.Collapse(ctx, g, chk, reg)
 	if quot.IsEmpty() {
 		return true, nil // a do-nothing context trivially generalises
 	}

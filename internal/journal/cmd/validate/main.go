@@ -1,0 +1,54 @@
+// Command validate checks a JSONL inference journal (the output of
+// circ -journal) against the event schema: known event types, required
+// per-type fields, and strictly increasing per-case sequence numbers.
+//
+// Usage:
+//
+//	go run ./internal/journal/cmd/validate out.jsonl [more.jsonl ...]
+//	circ ... -journal /dev/stdout | go run ./internal/journal/cmd/validate
+//
+// Exit status 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"circ/internal/journal"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		n, err := journal.Validate(os.Stdin)
+		if !report("stdin", n, err) {
+			os.Exit(1)
+		}
+		return
+	}
+	bad := false
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+			os.Exit(1)
+		}
+		n, err := journal.Validate(f)
+		f.Close()
+		if !report(path, n, err) {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func report(name string, n int, err error) bool {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "validate: %s: %v (after %d valid events)\n", name, err, n)
+		return false
+	}
+	fmt.Printf("%s: %d events, schema OK\n", name, n)
+	return true
+}

@@ -1,0 +1,22 @@
+package journal
+
+import "context"
+
+type streamKey struct{}
+
+// NewContext returns ctx carrying s, so analysis layers below can emit
+// journal events without new parameters. A nil stream returns ctx
+// unchanged.
+func NewContext(ctx context.Context, s *Stream) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, streamKey{}, s)
+}
+
+// FromContext returns the stream carried by ctx, or nil (whose methods are
+// all no-ops).
+func FromContext(ctx context.Context) *Stream {
+	s, _ := ctx.Value(streamKey{}).(*Stream)
+	return s
+}

@@ -1,0 +1,76 @@
+package journal
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Mount registers the live-progress endpoints on mux, next to the -pprof
+// handlers when mux is http.DefaultServeMux:
+//
+//	/debug/circ/progress   JSON ProgressSnapshot of per-case batch state
+//	/debug/circ/events     text/event-stream (SSE) of journal events
+//
+// Both endpoints are read-only and safe while analyses are running.
+func Mount(mux *http.ServeMux, r *Recorder) {
+	mux.HandleFunc("/debug/circ/progress", r.ServeProgress)
+	mux.HandleFunc("/debug/circ/events", r.ServeEvents)
+}
+
+// ServeProgress writes the current ProgressSnapshot as indented JSON.
+func (r *Recorder) ServeProgress(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Progress()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ServeEvents streams the journal as server-sent events: every recorded
+// event is replayed first (in emission order), then live events follow as
+// they are emitted, until the client disconnects. Each event is one
+// "data: <json>" frame; slow clients may miss live events (the frame
+// stream is a view, the canonical journal is not lossy).
+func (r *Recorder) ServeEvents(w http.ResponseWriter, req *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	replay, live, cancel := r.SubscribeFrom(0)
+	defer cancel()
+	write := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(append([]byte("data: "), data...), '\n', '\n')); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, e := range replay {
+		if !write(e) {
+			return
+		}
+	}
+	if r == nil {
+		return
+	}
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case e := <-live:
+			if !write(e) {
+				return
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"circ/internal/acfa"
 	"circ/internal/cfa"
 	"circ/internal/expr"
+	"circ/internal/journal"
 	"circ/internal/pred"
 	"circ/internal/smt"
 	"circ/internal/telemetry"
@@ -104,6 +105,7 @@ func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abst
 		e.cPostMisses = reg.Counter("reach.post.cache.misses")
 		e.gFrontier = reg.Gauge("reach.frontier.max")
 	}
+	e.j = journal.FromContext(ctx)
 	ctx, sp := telemetry.StartSpan(ctx, "reach")
 	res, err := e.run(ctx)
 	if res != nil {
@@ -193,6 +195,11 @@ type explorer struct {
 	cStates, cLevels, cRaces *telemetry.Counter
 	cPostHits, cPostMisses   *telemetry.Counter
 	gFrontier                *telemetry.Gauge
+
+	// j records counter-widening events; emission happens only in the
+	// sequential merge phase, so the journal stays deterministic at any
+	// parallelism.
+	j *journal.Stream
 }
 
 func (e *explorer) cachedPost(key postKey, compute func() *pred.Cube) *pred.Cube {
@@ -230,6 +237,12 @@ func (e *explorer) run(ctx context.Context) (*Result, error) {
 	frontier := []*State{init}
 	numStates := 0
 	var races []*Trace
+	// widened tracks which context locations have already been journalled
+	// as saturating their counter to omega (reported once per run).
+	var widened map[acfa.Loc]bool
+	if e.j.Enabled() {
+		widened = make(map[acfa.Loc]bool)
+	}
 
 levels:
 	for len(frontier) > 0 {
@@ -275,6 +288,22 @@ levels:
 				}
 				seen[k] = &parentInfo{parentKey: s.Key(), op: rec.op, state: rec.state}
 				next = append(next, rec.state)
+				if widened != nil {
+					// A location whose counter just saturated (the parent's
+					// was finite) crossed k → omega on this transition. The
+					// omega-seeded entry never trips this: its parent value
+					// is already Omega.
+					for n := range rec.state.Ctx {
+						l := acfa.Loc(n)
+						if rec.state.Ctx[l] == Omega && s.Ctx[l] != Omega && !widened[l] {
+							widened[l] = true
+							e.j.Emit(journal.Event{
+								Type: journal.EvCounterWidened,
+								Loc:  n, K: e.opts.K,
+							})
+						}
+					}
+				}
 			}
 		}
 		frontier = next

@@ -22,6 +22,7 @@ import (
 	"circ/internal/acfa"
 	"circ/internal/cfa"
 	"circ/internal/expr"
+	"circ/internal/journal"
 	"circ/internal/reach"
 	"circ/internal/smt"
 	"circ/internal/telemetry"
@@ -79,6 +80,9 @@ type Input struct {
 	Strategy MineStrategy
 	// Metrics, when non-nil, receives per-outcome refinement counters.
 	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives one trace_analyzed event per call,
+	// classifying this counterexample.
+	Journal *journal.Stream
 }
 
 // ConcreteStep is one operation of the interleaved concrete trace;
@@ -127,6 +131,22 @@ func Refine(in Input) (*Outcome, error) {
 	case out != nil:
 		in.Metrics.Counter("refine." + outcomeKey(out.Kind)).Inc()
 		in.Metrics.Counter("refine.preds.mined").Add(int64(len(out.Preds)))
+	}
+	if in.Journal.Enabled() {
+		e := journal.Event{Type: journal.EvTraceAnalyzed}
+		if in.Trace != nil {
+			e.TraceLen = len(in.Trace.Steps)
+		}
+		switch {
+		case err != nil:
+			e.Outcome = "error"
+		case out != nil:
+			e.Outcome = out.Kind.String()
+			if out.Interleaving != nil {
+				e.Steps = len(out.Interleaving.Steps)
+			}
+		}
+		in.Journal.Emit(e)
 	}
 	return out, err
 }

@@ -199,7 +199,7 @@ thread Worker {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, mu := bisim.Collapse(res1.ARG, chk, nil)
+	a1, mu := bisim.Collapse(context.Background(), res1.ARG, chk, nil)
 	res2, err := reach.ReachAndBuild(context.Background(), c, a1, abs, "x", reach.Options{K: 1})
 	if err != nil {
 		t.Fatal(err)

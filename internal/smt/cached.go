@@ -131,6 +131,39 @@ func (c *CachedChecker) Stats() CacheStats {
 	}
 }
 
+// CacheSize returns the number of distinct formulas with cached verdicts.
+// Unlike the hit/miss split — which depends on how concurrent workers
+// interleave on uncached formulas — the cache *content* is a deterministic
+// function of the queries the analysis issues, so size deltas are safe to
+// journal from frontier-parallel phases.
+func (c *CachedChecker) CacheSize() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// PublishStats writes the current cache and solver counters into reg as
+// gauges, so metrics snapshots (Report.Metrics, BatchReport.Metrics)
+// carry the solver internals — queries, theory checks, SAT conflicts —
+// not just the cache hit rate. Queries issued through incremental
+// Sessions land in the same counters as direct SatID calls.
+func (c *CachedChecker) PublishStats(reg *telemetry.Registry) {
+	st := c.Stats()
+	reg.Gauge("smt.cache.hits").Set(st.Hits)
+	reg.Gauge("smt.cache.misses").Set(st.Misses)
+	reg.Gauge("smt.cache.fastpath").Set(st.FastPath)
+	reg.Gauge("smt.cache.size").Set(int64(c.CacheSize()))
+	reg.Gauge("smt.queries").Set(st.Solver.Queries)
+	reg.Gauge("smt.solver.cache_hits").Set(st.Solver.CacheHits)
+	reg.Gauge("smt.theory.checks").Set(st.Solver.TheoryChecks)
+	reg.Gauge("smt.sat.conflicts").Set(st.Solver.SatConflicts)
+}
+
 // shard maps an interned formula to its cache shard. IDs are dense and
 // assigned in intern order, so the low bits distribute uniformly; no
 // arena access or hashing is needed on the hit path.

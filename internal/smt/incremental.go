@@ -128,11 +128,16 @@ func (s *Session) solveAssuming(lit expr.ID) Result {
 			s.baseBad = true
 		}
 	}
+	// Count the assumption query before any short-circuit: a baseBad
+	// session still answers a top-level query per SatConj, and dropping
+	// those from Stats.Queries would understate solver traffic in metrics
+	// snapshots (the session-vs-direct counts are asserted by
+	// TestSessionStatsCounted).
+	atomic.AddInt64(&c.Stats.Queries, 1)
 	if s.baseBad {
 		// phi alone is unsatisfiable, so every conjunction is.
 		return Unsat
 	}
-	atomic.AddInt64(&c.Stats.Queries, 1)
 	l, err := s.q.encodeID(lit)
 	if err != nil {
 		return Unknown

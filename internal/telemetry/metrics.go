@@ -242,6 +242,57 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the recorded
+// durations from the 1-2-5 bucket counts, interpolating linearly inside
+// the target bucket between the previous bucket's bound and its own.
+// Observations in the overflow bucket are credited the largest finite
+// bound, so Quantile never invents durations beyond what the ladder can
+// resolve. It returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		upper := b.LE
+		if upper == math.MaxInt64 {
+			// Overflow bucket: everything here reads as the largest finite
+			// bound (the lower edge of the overflow region).
+			return histBounds[len(histBounds)-1]
+		}
+		if float64(cum+b.Count) >= target {
+			lower := bucketLowerBound(upper)
+			within := target - float64(cum)
+			frac := within / float64(b.Count)
+			return time.Duration(float64(lower) + frac*float64(upper-lower))
+		}
+		cum += b.Count
+	}
+	return time.Duration(s.Buckets[len(s.Buckets)-1].LE)
+}
+
+// bucketLowerBound returns the exclusive lower edge of the ladder bucket
+// whose inclusive upper bound is le (0 for the first bucket, and for
+// bounds that are not on the ladder — merged foreign snapshots).
+func bucketLowerBound(le int64) int64 {
+	for i, b := range histBounds {
+		if b.Nanoseconds() == le {
+			if i == 0 {
+				return 0
+			}
+			return histBounds[i-1].Nanoseconds()
+		}
+	}
+	return 0
+}
+
 // Snapshot captures the registry's current state. A nil registry snapshots
 // empty.
 func (r *Registry) Snapshot() Metrics {
@@ -379,8 +430,12 @@ func (m Metrics) String() string {
 		if h.Count > 0 {
 			mean = time.Duration(h.SumNanos / h.Count)
 		}
-		fmt.Fprintf(&sb, "%-28s count=%d mean=%s total=%s\n",
-			n, h.Count, mean, time.Duration(h.SumNanos).Round(time.Microsecond))
+		fmt.Fprintf(&sb, "%-28s count=%d mean=%s p50=%s p95=%s p99=%s total=%s\n",
+			n, h.Count, mean,
+			h.Quantile(0.50).Round(100*time.Nanosecond),
+			h.Quantile(0.95).Round(100*time.Nanosecond),
+			h.Quantile(0.99).Round(100*time.Nanosecond),
+			time.Duration(h.SumNanos).Round(time.Microsecond))
 	}
 	return sb.String()
 }

@@ -171,3 +171,54 @@ func TestMetricsJSONAndHelpers(t *testing.T) {
 		t.Error("String() empty")
 	}
 }
+
+// TestQuantile pins the 1-2-5 ladder estimator: interpolation inside a
+// bucket runs between the bucket's true ladder neighbours (not the
+// previous non-empty bucket, which snapshots omit), and the overflow
+// bucket reads as the largest finite bound rather than an invented value.
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	// 90 fast observations in the (500µs, 1ms] bucket, 10 slow ones in
+	// (50ms, 100ms] — a long empty gap between them.
+	for i := 0; i < 90; i++ {
+		h.Observe(800 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(70 * time.Millisecond)
+	}
+	s := r.Snapshot().Histograms["latency"]
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// p50: 50th of 90 in (500µs, 1ms] -> 500µs + (50/90)*500µs ≈ 778µs.
+	if got := s.Quantile(0.50); got < 500*time.Microsecond || got > time.Millisecond {
+		t.Errorf("p50 = %v, want within (500µs, 1ms]", got)
+	}
+	// p95: 5th of 10 in (50ms, 100ms]; the lower edge must be the ladder
+	// neighbour 50ms, not the previous non-empty bucket's 1ms.
+	if got := s.Quantile(0.95); got < 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("p95 = %v, want within (50ms, 100ms]", got)
+	}
+	if got, want := s.Quantile(1), 100*time.Millisecond; got != want {
+		t.Errorf("p100 = %v, want %v", got, want)
+	}
+
+	// Overflow: observations beyond the ladder read as the largest finite
+	// bound (10s), never beyond.
+	r2 := NewRegistry()
+	r2.Histogram("slow").Observe(3 * time.Minute)
+	s2 := r2.Snapshot().Histograms["slow"]
+	if got, want := s2.Quantile(0.5), 10*time.Second; got != want {
+		t.Errorf("overflow p50 = %v, want %v", got, want)
+	}
+
+	// Degenerate inputs.
+	var empty HistSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := s.Quantile(-1); got == 0 {
+		t.Errorf("q<0 clamps to min, got 0 observations bucket")
+	}
+}
