@@ -96,6 +96,16 @@ func (b *BatchReport) Summary() string {
 // rather than aborting the batch; the returned error is non-nil only when
 // the context was cancelled.
 //
+// Each unit first passes through the static triage stage (unless
+// disabled with WithTriage): pairs proved race-free by the linear-time
+// dataflow rules get a TargetReport whose Report.Triage names the rule
+// ("read-only", "atomic-covered", "thread-local") and never touch the
+// SMT solver. Surviving pairs run CIRC on a per-target cone-of-influence
+// slice of the thread CFA (unless disabled with WithSlicing), so batch
+// wall-time scales with the number of hard pairs rather than all pairs.
+// The batch Metrics carry triage.discharged, per-rule triage.* counters,
+// and slice.edges_removed / slice.locs_removed totals.
+//
 // When more than one unit runs concurrently, each unit's reachability runs
 // sequentially (the pool is the parallelism); a single-unit batch uses
 // frontier-parallel reachability instead. Verdicts are identical either
@@ -209,9 +219,20 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 					if cerr := ctx.Err(); cerr != nil {
 						err = cerr
 					} else {
-						o := c.options(logger, inner)
-						o.Metrics = breg
-						rep, err = icirc.Check(uctx, cfas[i], t.Variable, o, c.solver)
+						// Static triage first: discharged pairs produce
+						// their report here and never touch the solver.
+						// Survivors run CIRC on the cone-of-influence
+						// slice. Both stages are deterministic per case,
+						// so the journal stays independent of the worker
+						// count.
+						g, trep := c.prepareUnit(cfas[i], t.Variable, s, breg)
+						if trep != nil {
+							rep = trep
+						} else {
+							o := c.options(logger, inner)
+							o.Metrics = breg
+							rep, err = icirc.Check(uctx, g, t.Variable, o, c.solver)
+						}
 					}
 				}
 				done := journal.Event{Type: journal.EvCaseDone}

@@ -47,6 +47,7 @@ import (
 
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
+	"circ/internal/dataflow"
 	"circ/internal/explicit"
 	"circ/internal/flowcheck"
 	"circ/internal/journal"
@@ -218,6 +219,8 @@ type Checker struct {
 	maxRounds   int
 	maxInner    int
 	maxStates   int
+	triage      bool
+	slicing     bool
 	solver      *smt.CachedChecker
 	journal     *journal.Recorder
 }
@@ -277,6 +280,25 @@ func WithJournal(j *Journal) Option { return func(c *Checker) { c.journal = j } 
 // Journal returns the attached flight recorder, or nil.
 func (c *Checker) Journal() *Journal { return c.journal }
 
+// WithTriage enables or disables the static triage stage (default on):
+// linear-time dataflow rules that discharge (thread, variable) pairs
+// proved race-free without running the inference engine — globals the
+// thread never accesses ("thread-local"), never writes ("read-only"), or
+// accesses only from atomic locations ("atomic-covered"). Discharged
+// reports carry the rule in Report.Triage and never touch the SMT
+// solver. Triage is sound: it only ever produces Safe verdicts that CIRC
+// would (eventually) also produce.
+func WithTriage(on bool) Option { return func(c *Checker) { c.triage = on } }
+
+// WithSlicing enables or disables per-target cone-of-influence slicing
+// (default on): before CIRC runs, assignments to variables that cannot
+// influence the checked global are rewritten to skips, assume predicates
+// over such variables are weakened to true, and the resulting skip
+// chains are contracted. The slice is a sound over-approximation that
+// preserves every access to the target verbatim, so verdicts are
+// unchanged — the engine just stops paying for irrelevant state.
+func WithSlicing(on bool) Option { return func(c *Checker) { c.slicing = on } }
+
 // WithBudgets bounds the analysis: maximum refinement rounds, inner
 // context-weakening rounds, and abstract states per reachability run.
 // Zero keeps the default for that budget.
@@ -291,6 +313,8 @@ func NewChecker(opts ...Option) *Checker {
 	c := &Checker{
 		solver:   smt.NewCachedChecker(),
 		registry: telemetry.NewRegistry(),
+		triage:   true,
+		slicing:  true,
 	}
 	for _, o := range opts {
 		o(c)
@@ -326,10 +350,55 @@ func (c *Checker) options(logger *slog.Logger, parallelism int) icirc.Options {
 	}
 }
 
+// prepareUnit runs the static pre-analysis for one (thread CFA,
+// variable) unit: the triage rules first, then cone-of-influence
+// slicing for the survivors. It returns either a discharged Safe report
+// (the engine need not run) or the CFA CIRC should analyse — the slice
+// when slicing is on and the original otherwise. Journal events and
+// telemetry counters are emitted through s and reg.
+func (c *Checker) prepareUnit(g *cfa.CFA, variable string, s *journal.Stream, reg *telemetry.Registry) (*cfa.CFA, *Report) {
+	if c.triage {
+		if d, ok := dataflow.Triage(g, variable); ok {
+			unit := telemetry.ChildOf(reg)
+			unit.Counter("triage.discharged").Inc()
+			unit.Counter("triage." + dataflow.CounterKey(d.Reason)).Inc()
+			s.Emit(journal.Event{Type: journal.EvTriageVerdict, Verdict: "safe", Reason: d.Reason})
+			s.Emit(journal.Event{Type: journal.EvVerdict, Verdict: "safe", Reason: "triage: " + d.Reason})
+			return nil, &Report{
+				Verdict: Safe,
+				Triage:  d.Reason,
+				Metrics: unit.Snapshot(),
+			}
+		}
+	}
+	if !c.slicing {
+		return g, nil
+	}
+	sliced, stats := dataflow.Slice(g, variable)
+	reg.Counter("slice.applied").Inc()
+	reg.Counter("slice.edges_removed").Add(int64(stats.EdgesBefore - stats.EdgesAfter))
+	reg.Counter("slice.locs_removed").Add(int64(stats.LocsBefore - stats.LocsAfter))
+	reg.Counter("slice.assigns_skipped").Add(int64(stats.AssignsSkipped))
+	reg.Counter("slice.assumes_weakened").Add(int64(stats.AssumesWeakened))
+	s.Emit(journal.Event{
+		Type:        journal.EvCFASliced,
+		LocsBefore:  stats.LocsBefore,
+		LocsAfter:   stats.LocsAfter,
+		EdgesBefore: stats.EdgesBefore,
+		EdgesAfter:  stats.EdgesAfter,
+	})
+	return sliced, nil
+}
+
 // Check runs CIRC on the named thread of p (empty: the single thread),
 // verifying that arbitrarily many copies running concurrently are free of
 // data races on variable. The context cancels the analysis between
 // iterations and reachability levels.
+//
+// Unless disabled with WithTriage/WithSlicing, a static triage stage
+// runs first (discharged pairs return a Report with Triage set and never
+// touch the solver) and surviving pairs analyse a cone-of-influence
+// slice of the thread CFA.
 func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string) (*Report, error) {
 	if variable == "" {
 		return nil, fmt.Errorf("circ: %w", ErrNoVariable)
@@ -344,8 +413,16 @@ func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string
 	if c.tracer != nil {
 		ctx = telemetry.NewContext(ctx, c.tracer)
 	}
+	var s *journal.Stream
 	if c.journal != nil {
-		ctx = journal.NewContext(ctx, c.journal.Stream(journalCase(thread, variable)))
+		s = c.journal.Stream(journalCase(thread, variable))
+	}
+	g, rep := c.prepareUnit(g, variable, s, c.registry)
+	if rep != nil {
+		return rep, nil
+	}
+	if s.Enabled() {
+		ctx = journal.NewContext(ctx, s)
 	}
 	return icirc.Check(ctx, g, variable, c.options(c.logger, c.parallelism), c.solver)
 }
@@ -383,12 +460,20 @@ func (c *Checker) VerifyCertificate(ctx context.Context, p *Program, thread, var
 	if err := p.checkThread(thread); err != nil {
 		return err
 	}
+	if rep.Triage != "" {
+		return fmt.Errorf("circ: triage-discharged report (%s) carries no certificate to verify", rep.Triage)
+	}
 	if rep.FinalACFA == nil {
 		return fmt.Errorf("circ: report carries no context model (verdict %v)", rep.Verdict)
 	}
 	g, err := p.CFA(thread)
 	if err != nil {
 		return err
+	}
+	// The certificate's obligations were discharged against the CFA the
+	// inference saw; re-create the same slice when slicing is on.
+	if c.slicing {
+		g, _ = dataflow.Slice(g, variable)
 	}
 	if c.tracer != nil {
 		ctx = telemetry.NewContext(ctx, c.tracer)

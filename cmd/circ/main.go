@@ -6,6 +6,13 @@
 //
 //	circ -var x [-thread T] [-omega] [-k N] [-parallel N] [-v] [-baselines] prog.mn
 //
+// Static pre-analysis flags: -triage=off disables the linear-time triage
+// stage (read-only / atomic-covered / thread-local discharges), and
+// -slice=off disables per-target cone-of-influence slicing; both default
+// to on. -baseline flowcheck|lockset|all runs the named baseline
+// analyzer(s) side-by-side with CIRC and prints a comparison table of
+// warnings versus proved verdicts.
+//
 // Observability flags: -trace out.json writes a Chrome trace_event span
 // trace (open in chrome://tracing or Perfetto), -metrics out.json writes a
 // metrics-registry snapshot, -journal out.jsonl writes the structured
@@ -39,6 +46,32 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// onoff is a boolean flag.Value that also accepts the spellings "on" and
+// "off", so the documented -triage=off / -slice=off escape hatches parse.
+type onoff bool
+
+func (o *onoff) String() string {
+	if o == nil || bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onoff) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on", "true", "1", "t", "yes":
+		*o = true
+	case "off", "false", "0", "f", "no":
+		*o = false
+	default:
+		return fmt.Errorf("invalid value %q (want on or off)", s)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -triage mean -triage=on.
+func (o *onoff) IsBoolFlag() bool { return true }
+
 // cliErr prints an error without duplicating the "circ:" prefix that
 // library errors already carry.
 func cliErr(err error) {
@@ -68,7 +101,11 @@ func run(args []string) int {
 		jsonlOut  = fs.String("journal", "", "write the structured inference journal (JSONL) to this file")
 		htmlOut   = fs.String("report", "", "write a self-contained HTML race report to this file")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof, expvar, and /debug/circ on this address (e.g. localhost:6060)")
+		baseline  = fs.String("baseline", "", "run baseline analyzers side-by-side and print a comparison table: flowcheck, lockset, or all")
 	)
+	triage, slice := onoff(true), onoff(true)
+	fs.Var(&triage, "triage", "static triage stage that discharges pairs before CIRC runs: on or off")
+	fs.Var(&slice, "slice", "per-target cone-of-influence slicing of the thread CFA: on or off")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: circ -var x [flags] prog.mn\n")
 		fs.PrintDefaults()
@@ -78,6 +115,12 @@ func run(args []string) int {
 	}
 	if fs.NArg() != 1 || (*varName == "" && !*all) {
 		fs.Usage()
+		return 3
+	}
+	switch *baseline {
+	case "", "flowcheck", "lockset", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "circ: -baseline %q: want flowcheck, lockset, or all\n", *baseline)
 		return 3
 	}
 	src, err := os.ReadFile(fs.Arg(0))
@@ -91,7 +134,10 @@ func run(args []string) int {
 		cliErr(err)
 		return 3
 	}
-	opts := []circ.Option{circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel)}
+	opts := []circ.Option{
+		circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel),
+		circ.WithTriage(bool(triage)), circ.WithSlicing(bool(slice)),
+	}
 	if *verbose {
 		opts = append(opts, circ.WithLog(os.Stderr))
 	}
@@ -134,6 +180,9 @@ func run(args []string) int {
 		}
 		sections = append(sections, sec)
 		counts[sec.Verdict]++
+	}
+	if *baseline != "" {
+		printBaselineComparison(string(src), *thread, *baseline, vars, sections)
 	}
 	if *traceOut != "" {
 		if err := tracer.ExportFile(*traceOut); err != nil {
@@ -204,6 +253,67 @@ func verdictSummary(counts map[string]int) string {
 	return strings.Join(parts, ", ")
 }
 
+// printBaselineComparison runs the requested baseline analyzers once and
+// prints their warnings next to circ's proved verdicts, one row per
+// checked variable. A baseline warning on a circ-proved-safe variable is
+// a false positive of the baseline; a silent baseline on a circ-proved
+// race is a miss.
+func printBaselineComparison(src, thread, which string, vars []string, sections []journal.CaseSection) {
+	type column struct {
+		name string
+		racy func(v string) bool
+	}
+	var cols []column
+	if which == "flowcheck" || which == "all" {
+		fc, err := circ.Flowcheck(src, thread)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circ: flowcheck baseline:", err)
+		} else {
+			cols = append(cols, column{"flowcheck", fc.Racy})
+		}
+	}
+	if which == "lockset" || which == "all" {
+		ls, err := circ.Lockset(src, thread, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circ: lockset baseline:", err)
+		} else {
+			cols = append(cols, column{"lockset", ls.Racy})
+		}
+	}
+	if len(cols) == 0 {
+		return
+	}
+	fmt.Println("--- baseline comparison (warnings vs proved verdicts) ---")
+	fmt.Printf("%-24s %-10s", "variable", "circ")
+	for _, c := range cols {
+		fmt.Printf(" %-12s", c.name)
+	}
+	fmt.Println()
+	falsePos := make([]int, len(cols))
+	missed := make([]int, len(cols))
+	for i, v := range vars {
+		verdict := sections[i].Verdict
+		fmt.Printf("%-24s %-10s", v, verdict)
+		for j, c := range cols {
+			cell := "no warning"
+			if c.racy(v) {
+				cell = "warns"
+				if verdict == "safe" {
+					falsePos[j]++
+				}
+			} else if verdict == "unsafe" {
+				missed[j]++
+			}
+			fmt.Printf(" %-12s", cell)
+		}
+		fmt.Println()
+	}
+	for j, c := range cols {
+		fmt.Printf("%s: %d false positive(s) on circ-proved-safe variables, %d missed race(s)\n",
+			c.name, falsePos[j], missed[j])
+	}
+}
+
 // caseName mirrors the engine's journal case naming for one (thread,
 // variable) unit, so HTML sections line up with journal events.
 func caseName(thread, varName string) string {
@@ -236,6 +346,15 @@ func checkOne(chk *circ.Checker, prog *circ.Program, src, varName, thread string
 
 	switch rep.Verdict {
 	case circ.Safe:
+		if rep.Triage != "" {
+			// Statically discharged: there is no context model or
+			// certificate — the provenance is the discharge rule itself.
+			fmt.Printf("SAFE: no races on %q — discharged statically (triage: %s)\n", varName, rep.Triage)
+			if verify {
+				fmt.Println("certificate check skipped: triage verdicts carry no certificate")
+			}
+			break
+		}
 		fmt.Printf("SAFE: no races on %q (predicates: %d, context ACFA: %d locations, k=%d, rounds=%d)\n",
 			varName, len(rep.Preds), rep.FinalACFA.NumLocs(), rep.K, rep.Rounds)
 		for _, p := range rep.Preds {

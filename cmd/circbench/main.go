@@ -53,6 +53,45 @@ var (
 	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, expvar, and /debug/circ on this address (e.g. localhost:6060)")
 )
 
+// triageFlag/sliceFlag are the -bench escape hatches for the engine's
+// static pre-analysis: -triage=off and -slice=off run the batch phases
+// with the full CEGAR loop on every pair and unsliced CFAs.
+var (
+	triageFlag onoff = true
+	sliceFlag  onoff = true
+)
+
+func init() {
+	flag.Var(&triageFlag, "triage", "static triage stage that discharges pairs before CIRC runs: on or off")
+	flag.Var(&sliceFlag, "slice", "per-target cone-of-influence slicing of the thread CFA: on or off")
+}
+
+// onoff is a boolean flag.Value that also accepts the spellings "on" and
+// "off", so -triage=off / -slice=off parse.
+type onoff bool
+
+func (o *onoff) String() string {
+	if o == nil || bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onoff) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on", "true", "1", "t", "yes":
+		*o = true
+	case "off", "false", "0", "f", "no":
+		*o = false
+	default:
+		return fmt.Errorf("invalid value %q (want on or off)", s)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -triage mean -triage=on.
+func (o *onoff) IsBoolFlag() bool { return true }
+
 // chk is the process-wide SMT layer: every phase shares it, so the
 // per-phase hit rates below show cross-phase reuse too.
 var chk = smt.NewCachedChecker()
@@ -412,6 +451,11 @@ type benchRow struct {
 	// deltas over all SMT queries issued (hits + misses + fast path).
 	AllocsPerQuery float64 `json:"allocs_per_query"`
 	BytesPerQuery  float64 `json:"bytes_per_query"`
+	// Static pre-analysis effect on the parallel run: targets discharged
+	// without touching the solver, and CFA edges removed by slicing
+	// (summed over all targets of the case).
+	TriageDischarged   int64 `json:"triage_discharged"`
+	SlicedEdgesRemoved int64 `json:"sliced_edges_removed"`
 }
 
 type benchReport struct {
@@ -462,7 +506,8 @@ func benchCases() []benchCase {
 // work).
 func runOnce(src string, par int) (*circ.BatchReport, error) {
 	return circ.CheckAllRaces(context.Background(), src,
-		circ.WithParallelism(par), circ.WithTracer(tracer))
+		circ.WithParallelism(par), circ.WithTracer(tracer),
+		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
 }
 
 func runBench() {
@@ -474,7 +519,7 @@ func runBench() {
 		runtime.GOMAXPROCS(par)
 	}
 	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
-	fmt.Printf("%-28s %7s %9s %9s %8s %9s %11s\n", "benchmark", "targets", "seq", "par", "speedup", "hit-rate", "allocs/q")
+	fmt.Printf("%-28s %7s %6s %9s %9s %8s %9s %11s\n", "benchmark", "targets", "disch", "seq", "par", "speedup", "hit-rate", "allocs/q")
 	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
 	// Each runOnce uses a fresh checker (and so a fresh registry); merge
 	// the per-run snapshots into a bench-level child of the process
@@ -506,6 +551,9 @@ func runBench() {
 			CacheMisses:   parRep.SMT.Misses,
 			FastPath:      parRep.SMT.FastPath,
 			HitRate:       parRep.SMT.HitRate(),
+
+			TriageDischarged:   parRep.Metrics.Counter("triage.discharged"),
+			SlicedEdgesRemoved: parRep.Metrics.Counter("slice.edges_removed"),
 		}
 		if queries := row.CacheHits + row.CacheMisses + row.FastPath; queries > 0 {
 			row.AllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(queries)
@@ -536,14 +584,14 @@ func runBench() {
 		if !row.VerdictsAgree {
 			agree = "  VERDICT MISMATCH"
 		}
-		fmt.Printf("%-28s %7d %8.0fms %8.0fms %7.2fx %8.1f%% %11.0f%s\n",
-			bc.Name, row.Targets, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, row.AllocsPerQuery, agree)
+		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %7.2fx %8.1f%% %11.0f%s\n",
+			bc.Name, row.Targets, row.TriageDischarged, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, row.AllocsPerQuery, agree)
 	}
 	if report.TotalParMs > 0 {
 		report.Speedup = report.TotalSeqMs / report.TotalParMs
 	}
 	report.Metrics = breg.Snapshot()
-	fmt.Printf("%-28s %7s %8.0fms %8.0fms %7.2fx\n", "TOTAL", "", report.TotalSeqMs, report.TotalParMs, report.Speedup)
+	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %7.2fx\n", "TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, report.Speedup)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)

@@ -76,6 +76,32 @@ type Edge struct {
 	Src, Dst Loc
 	Op       Op
 	Pos      lang.Pos
+
+	// reads and writes memoize Op.ReadVars/Op.WritesVar; populated once by
+	// finish(). The race checks of reachability and the dataflow passes hit
+	// these per abstract state, so rebuilding a fresh map per call is pure
+	// allocation churn.
+	reads    map[string]bool
+	writes   string
+	memoized bool
+}
+
+// Reads returns the variables read by the edge's operation, memoized at
+// CFA construction time. Callers must not mutate the returned map.
+func (e *Edge) Reads() map[string]bool {
+	if e.memoized {
+		return e.reads
+	}
+	return e.Op.ReadVars()
+}
+
+// Writes returns the variable written by the edge's operation ("" for
+// assumes), memoized at CFA construction time.
+func (e *Edge) Writes() string {
+	if e.memoized {
+		return e.writes
+	}
+	return e.Op.WritesVar()
 }
 
 func (e *Edge) String() string {
@@ -111,7 +137,7 @@ func (c *CFA) OutEdges(l Loc) []*Edge { return c.Out[l] }
 // "can write x" at l in the paper's terminology.
 func (c *CFA) WritesVarAt(l Loc, x string) bool {
 	for _, e := range c.Out[l] {
-		if e.Op.WritesVar() == x {
+		if e.Writes() == x {
 			return true
 		}
 	}
@@ -121,7 +147,7 @@ func (c *CFA) WritesVarAt(l Loc, x string) bool {
 // ReadsVarAt reports whether some edge out of l reads x.
 func (c *CFA) ReadsVarAt(l Loc, x string) bool {
 	for _, e := range c.Out[l] {
-		if e.Op.ReadVars()[x] {
+		if e.Reads()[x] {
 			return true
 		}
 	}
@@ -176,10 +202,30 @@ func (c *CFA) SortedLocals() []string {
 	return out
 }
 
+// New assembles a CFA from parts and finalises its derived structures
+// (adjacency lists, the global-name set, and the per-edge access caches).
+// It is the constructor for CFAs produced outside this package, such as
+// the sliced automata built by internal/dataflow.
+func New(name string, globals, locals []string, entry Loc, atomic []bool, edges []*Edge) *CFA {
+	c := &CFA{
+		Name:    name,
+		Globals: globals,
+		Locals:  locals,
+		Entry:   entry,
+		Atomic:  atomic,
+		Edges:   edges,
+	}
+	c.finish()
+	return c
+}
+
 func (c *CFA) finish() {
 	c.Out = make([][]*Edge, c.NumLocs())
 	for _, e := range c.Edges {
 		c.Out[e.Src] = append(c.Out[e.Src], e)
+		e.reads = e.Op.ReadVars()
+		e.writes = e.Op.WritesVar()
+		e.memoized = true
 	}
 	c.globalSet = make(map[string]bool, len(c.Globals))
 	for _, g := range c.Globals {

@@ -154,6 +154,11 @@ type Report struct {
 	// Rounds counts outer iterations; History records every inner one.
 	Rounds  int
 	History []IterationInfo
+	// Triage, when non-empty, records that the verdict was discharged by
+	// the static triage stage without running CIRC at all: "read-only",
+	// "atomic-covered", or "thread-local". Triage reports are always Safe
+	// and carry no context model or predicates.
+	Triage string
 	// Metrics snapshots this analysis's telemetry registry at the end of
 	// the run: iteration/refinement counters, reachability statistics, and
 	// the SMT cache state ("smt.cache.hits"/"smt.cache.misses" gauges),
@@ -167,6 +172,9 @@ type Report struct {
 func (r *Report) Summary() string {
 	switch r.Verdict {
 	case Safe:
+		if r.Triage != "" {
+			return fmt.Sprintf("safe: discharged statically (triage: %s)", r.Triage)
+		}
 		locs := 0
 		if r.FinalACFA != nil {
 			locs = r.FinalACFA.NumLocs()

@@ -1,0 +1,295 @@
+package dataflow
+
+import (
+	"circ/internal/cfa"
+	"circ/internal/expr"
+)
+
+// valKind classifies one variable's abstract value in the flat
+// constant/copy lattice.
+type valKind int
+
+const (
+	// valNAC ("not a constant") is the lattice top: the variable may hold
+	// any value. It is also the entry fact for every variable — the
+	// engine's semantics leave initial values unconstrained.
+	valNAC valKind = iota
+	// valConst is a known integer constant.
+	valConst
+	// valCopy means "same value as variable Src" (copy propagation).
+	valCopy
+)
+
+// Value is one variable's abstract value.
+type Value struct {
+	Kind valKind
+	N    int64  // valConst
+	Src  string // valCopy
+}
+
+func (v Value) eq(w Value) bool { return v.Kind == w.Kind && v.N == w.N && v.Src == w.Src }
+
+// IsConst reports whether the value is a known constant, and which.
+func (v Value) IsConst() (int64, bool) { return v.N, v.Kind == valConst }
+
+// ConstFact maps every variable to its abstract value at a location. A
+// nil Vals slice is the lattice bottom: the location is unreached.
+type ConstFact struct {
+	Vals []Value
+}
+
+func (f ConstFact) reached() bool { return f.Vals != nil }
+
+// ConstResult is the constant/copy-propagation solution for one CFA.
+type ConstResult struct {
+	// Vars enumerates the CFA's variables; index i of a fact corresponds
+	// to Vars[i].
+	Vars []string
+	// In[l] is the fact on entry to l. A nil fact marks l statically
+	// unreachable.
+	In []ConstFact
+
+	idx map[string]int
+}
+
+// ConstAt returns the constant value of v on entry to l, if the analysis
+// proved one.
+func (r *ConstResult) ConstAt(l cfa.Loc, v string) (int64, bool) {
+	i, ok := r.idx[v]
+	if !ok || !r.In[l].reached() {
+		return 0, false
+	}
+	return r.In[l].Vals[i].IsConst()
+}
+
+// Reached reports whether the analysis found any path from the entry
+// to l.
+func (r *ConstResult) Reached(l cfa.Loc) bool { return r.In[l].reached() }
+
+type constProblem struct {
+	vars *varIndex
+}
+
+func (p *constProblem) Direction() Direction { return Forward }
+func (p *constProblem) Bottom() ConstFact    { return ConstFact{} }
+
+// Boundary: every variable starts NAC — globals are written by the
+// environment and the semantics constrain no initial value.
+func (p *constProblem) Boundary() ConstFact {
+	return ConstFact{Vals: make([]Value, len(p.vars.names))}
+}
+
+func (p *constProblem) Join(dst, src ConstFact) (ConstFact, bool) {
+	if !src.reached() {
+		return dst, false
+	}
+	if !dst.reached() {
+		out := ConstFact{Vals: make([]Value, len(src.Vals))}
+		copy(out.Vals, src.Vals)
+		return out, true
+	}
+	changed := false
+	for i := range dst.Vals {
+		if dst.Vals[i].eq(src.Vals[i]) {
+			continue
+		}
+		if dst.Vals[i].Kind != valNAC {
+			dst.Vals[i] = Value{Kind: valNAC}
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (p *constProblem) Transfer(e *cfa.Edge, in ConstFact) ConstFact {
+	if !in.reached() {
+		return in
+	}
+	out := ConstFact{Vals: make([]Value, len(in.Vals))}
+	copy(out.Vals, in.Vals)
+	switch e.Op.Kind {
+	case cfa.OpAssign:
+		p.assign(out.Vals, e.Op.LHS, p.eval(e.Op.RHS, in.Vals))
+	case cfa.OpHavoc:
+		p.assign(out.Vals, e.Op.LHS, Value{Kind: valNAC})
+	case cfa.OpAssume:
+		switch p.evalPred(e.Op.Pred, in.Vals) {
+		case predFalse:
+			return ConstFact{} // the guard cannot pass: successor unreached
+		default:
+			p.refine(e.Op.Pred, out.Vals)
+		}
+	}
+	return out
+}
+
+// assign writes v into x and invalidates every copy whose source was x —
+// "y = x" stops meaning anything once x changes.
+func (p *constProblem) assign(vals []Value, x string, v Value) {
+	i, ok := p.vars.idx[x]
+	if !ok {
+		return
+	}
+	for j := range vals {
+		if vals[j].Kind == valCopy && vals[j].Src == x {
+			vals[j] = Value{Kind: valNAC}
+		}
+	}
+	vals[i] = v
+}
+
+// eval abstracts an arithmetic expression over the current fact.
+func (p *constProblem) eval(e expr.Expr, vals []Value) Value {
+	switch e := e.(type) {
+	case expr.Int:
+		return Value{Kind: valConst, N: e.Value}
+	case expr.Var:
+		i, ok := p.vars.idx[e.Name]
+		if !ok {
+			return Value{Kind: valNAC}
+		}
+		switch v := vals[i]; v.Kind {
+		case valConst:
+			return v
+		case valCopy:
+			// Chains are collapsed at assignment time, so a copy's source
+			// is never itself a copy; propagate it as the copy value.
+			return v
+		default:
+			return Value{Kind: valCopy, Src: e.Name}
+		}
+	case expr.Bin:
+		x, y := p.eval(e.X, vals), p.eval(e.Y, vals)
+		a, aok := x.IsConst()
+		b, bok := y.IsConst()
+		if !aok || !bok {
+			return Value{Kind: valNAC}
+		}
+		switch e.Op {
+		case expr.OpAdd:
+			return Value{Kind: valConst, N: a + b}
+		case expr.OpSub:
+			return Value{Kind: valConst, N: a - b}
+		case expr.OpMul:
+			return Value{Kind: valConst, N: a * b}
+		}
+	}
+	return Value{Kind: valNAC}
+}
+
+type predVal int
+
+const (
+	predUnknown predVal = iota
+	predTrue
+	predFalse
+)
+
+// evalPred abstracts a boolean predicate over the current fact.
+func (p *constProblem) evalPred(e expr.Expr, vals []Value) predVal {
+	switch e := e.(type) {
+	case expr.Bool:
+		if e.Value {
+			return predTrue
+		}
+		return predFalse
+	case expr.Cmp:
+		a, aok := p.eval(e.X, vals).IsConst()
+		b, bok := p.eval(e.Y, vals).IsConst()
+		if !aok || !bok {
+			return predUnknown
+		}
+		var holds bool
+		switch e.Op {
+		case expr.OpEq:
+			holds = a == b
+		case expr.OpNe:
+			holds = a != b
+		case expr.OpLt:
+			holds = a < b
+		case expr.OpLe:
+			holds = a <= b
+		case expr.OpGt:
+			holds = a > b
+		case expr.OpGe:
+			holds = a >= b
+		default:
+			return predUnknown
+		}
+		if holds {
+			return predTrue
+		}
+		return predFalse
+	case expr.Not:
+		switch p.evalPred(e.X, vals) {
+		case predTrue:
+			return predFalse
+		case predFalse:
+			return predTrue
+		}
+	case expr.And:
+		all := predTrue
+		for _, c := range e.Xs {
+			switch p.evalPred(c, vals) {
+			case predFalse:
+				return predFalse
+			case predUnknown:
+				all = predUnknown
+			}
+		}
+		return all
+	case expr.Or:
+		any := predFalse
+		for _, c := range e.Xs {
+			switch p.evalPred(c, vals) {
+			case predTrue:
+				return predTrue
+			case predUnknown:
+				any = predUnknown
+			}
+		}
+		return any
+	}
+	return predUnknown
+}
+
+// refine sharpens the fact through an assume edge: passing [x == c]
+// pins x to c on the far side.
+func (p *constProblem) refine(pred expr.Expr, vals []Value) {
+	switch e := pred.(type) {
+	case expr.Cmp:
+		if e.Op != expr.OpEq {
+			return
+		}
+		if v, ok := e.X.(expr.Var); ok {
+			if c, ok := p.eval(e.Y, vals).IsConst(); ok {
+				p.pin(vals, v.Name, c)
+			}
+		}
+		if v, ok := e.Y.(expr.Var); ok {
+			if c, ok := p.eval(e.X, vals).IsConst(); ok {
+				p.pin(vals, v.Name, c)
+			}
+		}
+	case expr.And:
+		for _, c := range e.Xs {
+			p.refine(c, vals)
+		}
+	}
+}
+
+func (p *constProblem) pin(vals []Value, x string, c int64) {
+	if i, ok := p.vars.idx[x]; ok {
+		vals[i] = Value{Kind: valConst, N: c}
+	}
+}
+
+// ConstantPropagation computes, per location, which variables are pinned
+// to known constants (or are exact copies of other variables) on every
+// path from the entry. The entry fact is all-NAC: the checker's
+// semantics give variables arbitrary initial values.
+func ConstantPropagation(c *cfa.CFA) *ConstResult {
+	vars := indexVars(c)
+	p := &constProblem{vars: vars}
+	return &ConstResult{Vars: vars.names, In: Solve[ConstFact](c, p), idx: vars.idx}
+}

@@ -1,0 +1,66 @@
+package dataflow
+
+import "circ/internal/cfa"
+
+// LiveResult is the live-variables solution for one CFA.
+type LiveResult struct {
+	// Vars enumerates the CFA's variables (globals then locals); bit i of
+	// a fact corresponds to Vars[i].
+	Vars []string
+	// At[l] is the set of variables live at location l: v is live when
+	// some path from l reads v before writing it (globals are also live
+	// at every exit location — they are observable by other threads).
+	At []BitSet
+
+	idx map[string]int
+}
+
+// liveProblem instantiates the framework backwards: an edge's uses are
+// generated, its write is killed.
+type liveProblem struct {
+	vars *varIndex
+	exit BitSet
+}
+
+func (p *liveProblem) Direction() Direction { return Backward }
+func (p *liveProblem) Bottom() BitSet       { return NewBitSet(len(p.vars.names)) }
+func (p *liveProblem) Boundary() BitSet     { return p.exit.Copy() }
+
+func (p *liveProblem) Join(dst, src BitSet) (BitSet, bool) {
+	return dst, dst.UnionInto(src)
+}
+
+func (p *liveProblem) Transfer(e *cfa.Edge, out BitSet) BitSet {
+	in := out.Copy()
+	if x := e.Writes(); x != "" {
+		if i, ok := p.vars.idx[x]; ok {
+			in.Clear(i)
+		}
+	}
+	for v := range e.Reads() {
+		if i, ok := p.vars.idx[v]; ok {
+			in.Set(i)
+		}
+	}
+	return in
+}
+
+// LiveVariables computes per-location liveness. Globals are treated as
+// live at every exit location: the race checker's semantics make every
+// global observable by the environment, so a write to one is never dead.
+func LiveVariables(c *cfa.CFA) *LiveResult {
+	vars := indexVars(c)
+	exit := NewBitSet(len(vars.names))
+	for _, g := range c.Globals {
+		exit.Set(vars.idx[g])
+	}
+	p := &liveProblem{vars: vars, exit: exit}
+	return &LiveResult{Vars: vars.names, At: Solve[BitSet](c, p), idx: vars.idx}
+}
+
+// LiveAt reports whether v is live at l: read on some path from l
+// before being written.
+func (r *LiveResult) LiveAt(l cfa.Loc, v string) bool {
+	i, ok := r.idx[v]
+	return ok && r.At[l].Has(i)
+}

@@ -1,0 +1,91 @@
+package dataflow
+
+import "circ/internal/cfa"
+
+// DefSite is one definition: the index (into c.Edges) of an edge that
+// writes Var via an assignment or havoc.
+type DefSite struct {
+	EdgeIndex int
+	Var       string
+}
+
+// ReachingResult is the reaching-definitions solution for one CFA.
+type ReachingResult struct {
+	// Defs enumerates the definition sites, in edge order. Bit i of a
+	// fact corresponds to Defs[i].
+	Defs []DefSite
+	// In[l] is the set of definitions reaching location l: definition d
+	// is in In[l] when some path from the entry to l runs through d's
+	// edge with no later write to d's variable.
+	In []BitSet
+}
+
+// reachingProblem instantiates the framework: facts are definition sets,
+// an edge writing x kills every other definition of x and generates its
+// own.
+type reachingProblem struct {
+	nDefs int
+	defOf map[*cfa.Edge]int // edge -> its definition index, if it writes
+	byVar map[string]BitSet // var -> all definitions of it (the kill set)
+}
+
+func (p *reachingProblem) Direction() Direction { return Forward }
+func (p *reachingProblem) Bottom() BitSet       { return NewBitSet(p.nDefs) }
+func (p *reachingProblem) Boundary() BitSet     { return NewBitSet(p.nDefs) }
+
+func (p *reachingProblem) Join(dst, src BitSet) (BitSet, bool) {
+	return dst, dst.UnionInto(src)
+}
+
+func (p *reachingProblem) Transfer(e *cfa.Edge, in BitSet) BitSet {
+	x := e.Writes()
+	if x == "" {
+		return in
+	}
+	out := in.Copy()
+	out.AndNot(p.byVar[x])
+	if d, ok := p.defOf[e]; ok {
+		out.Set(d)
+	}
+	return out
+}
+
+// ReachingDefinitions computes which writes can reach each location.
+// Variables are unconstrained at the entry (the engine's semantics leave
+// every variable initially arbitrary), so an empty fact at l means "no
+// write in this thread reaches l", not "the variable is undefined".
+func ReachingDefinitions(c *cfa.CFA) *ReachingResult {
+	p := &reachingProblem{
+		defOf: make(map[*cfa.Edge]int),
+		byVar: make(map[string]BitSet),
+	}
+	var defs []DefSite
+	for i, e := range c.Edges {
+		if x := e.Writes(); x != "" {
+			p.defOf[e] = len(defs)
+			defs = append(defs, DefSite{EdgeIndex: i, Var: x})
+		}
+	}
+	p.nDefs = len(defs)
+	for d, site := range defs {
+		set, ok := p.byVar[site.Var]
+		if !ok {
+			set = NewBitSet(len(defs))
+			p.byVar[site.Var] = set
+		}
+		set.Set(d)
+	}
+	return &ReachingResult{Defs: defs, In: Solve[BitSet](c, p)}
+}
+
+// DefsOf returns the definition sites of v reaching location l, as
+// indices into r.Defs.
+func (r *ReachingResult) DefsOf(l cfa.Loc, v string) []int {
+	var out []int
+	for _, d := range r.In[l].Elems() {
+		if r.Defs[d].Var == v {
+			out = append(out, d)
+		}
+	}
+	return out
+}

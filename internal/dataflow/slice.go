@@ -1,0 +1,279 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"circ/internal/cfa"
+	"circ/internal/expr"
+)
+
+// SliceStats quantifies one cone-of-influence slice.
+type SliceStats struct {
+	// LocsBefore/LocsAfter and EdgesBefore/EdgesAfter measure the CFA
+	// before and after slicing (including the skip-chain contraction).
+	LocsBefore, LocsAfter   int
+	EdgesBefore, EdgesAfter int
+	// AssignsSkipped counts assignments/havocs to irrelevant variables
+	// rewritten to skips; AssumesWeakened counts assume predicates over
+	// irrelevant variables weakened to true.
+	AssignsSkipped, AssumesWeakened int
+	// RelevantVars is the size of the computed relevance closure.
+	RelevantVars int
+}
+
+// Changed reports whether the slice differs from the input CFA.
+func (s SliceStats) Changed() bool {
+	return s.LocsAfter != s.LocsBefore || s.EdgesAfter != s.EdgesBefore ||
+		s.AssignsSkipped > 0 || s.AssumesWeakened > 0
+}
+
+// Slice computes the cone of influence of global g in thread template c
+// and returns a new CFA with everything outside it erased: assignments
+// and havocs to irrelevant variables become skips, assume predicates
+// mentioning only irrelevant variables are weakened to true, and the
+// resulting skip chains are contracted away. The input CFA is not
+// modified.
+//
+// The result is a sound over-approximation specialised to races on g:
+// every behaviour of c projected onto the relevant variables is a
+// behaviour of the slice, every access to g is preserved verbatim (on an
+// edge with the same source-location atomicity), and weakening assumes
+// only adds behaviours. A safety proof on the slice therefore implies
+// safety of the original, and because the relevance closure keeps every
+// predicate that can influence control flow around the accesses to g
+// (see relevantVars), genuine races are not masked either.
+func Slice(c *cfa.CFA, g string) (*cfa.CFA, SliceStats) {
+	stats := SliceStats{LocsBefore: c.NumLocs(), EdgesBefore: len(c.Edges)}
+	reach := reachableLocs(c)
+	rel := relevantVars(c, g, reach)
+	stats.RelevantVars = len(rel)
+
+	// Rewrite reachable edges; unreachable ones are dropped outright.
+	skip := cfa.Op{Kind: cfa.OpAssume, Pred: expr.TrueExpr}
+	rewritten := make([]*cfa.Edge, 0, len(c.Edges))
+	for _, e := range c.Edges {
+		if !reach[e.Src] {
+			continue
+		}
+		op := e.Op
+		switch op.Kind {
+		case cfa.OpAssign, cfa.OpHavoc:
+			if !rel[op.LHS] {
+				op = skip
+				stats.AssignsSkipped++
+			}
+		case cfa.OpAssume:
+			vars := e.Reads()
+			if len(vars) > 0 && !intersects(vars, rel) {
+				op = skip
+				stats.AssumesWeakened++
+			}
+		}
+		rewritten = append(rewritten, &cfa.Edge{Src: e.Src, Dst: e.Dst, Op: op, Pos: e.Pos})
+	}
+
+	out := contract(c, reach, rewritten)
+	stats.LocsAfter = out.NumLocs()
+	stats.EdgesAfter = len(out.Edges)
+	return out, stats
+}
+
+// relevantVars computes the relevance closure R for races on g: the
+// least set of variables satisfying
+//
+//  1. g is in R;
+//  2. every variable of an edge that accesses g — including the written
+//     variable — is in R, so accesses to g keep their exact operations;
+//  3. the variables of every branch predicate (an assume out of a
+//     location with two or more out-edges) are in R: branch guards
+//     decide which accesses are reachable, and weakening one could mask
+//     a genuine race or break a synchronisation protocol;
+//  4. if an assume predicate mentions any variable of R it contributes
+//     all of its variables, so retained guards never mention variables
+//     whose definitions were sliced away;
+//  5. if an assignment writes a variable of R its right-hand side's
+//     variables are in R (data dependence).
+//
+// Only reachable edges contribute. The closure is computed by iterating
+// rules 4 and 5 to a fixpoint over rules 1-3's seed.
+func relevantVars(c *cfa.CFA, g string, reach []bool) map[string]bool {
+	rel := map[string]bool{g: true}
+	opVars := func(e *cfa.Edge) map[string]bool {
+		vars := make(map[string]bool, len(e.Reads())+1)
+		for v := range e.Reads() {
+			vars[v] = true
+		}
+		if w := e.Writes(); w != "" {
+			vars[w] = true
+		}
+		return vars
+	}
+	// Seed: rules 2 and 3.
+	for _, e := range c.Edges {
+		if !reach[e.Src] {
+			continue
+		}
+		if e.Writes() == g || e.Reads()[g] {
+			for v := range opVars(e) {
+				rel[v] = true
+			}
+		}
+		if e.Op.Kind == cfa.OpAssume && len(c.OutEdges(e.Src)) >= 2 {
+			for v := range e.Reads() {
+				rel[v] = true
+			}
+		}
+	}
+	// Fixpoint: rules 4 and 5.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range c.Edges {
+			if !reach[e.Src] {
+				continue
+			}
+			switch e.Op.Kind {
+			case cfa.OpAssign:
+				if !rel[e.Op.LHS] {
+					continue
+				}
+				for v := range e.Reads() {
+					if !rel[v] {
+						rel[v] = true
+						changed = true
+					}
+				}
+			case cfa.OpAssume:
+				vars := e.Reads()
+				if !intersects(vars, rel) {
+					continue
+				}
+				for v := range vars {
+					if !rel[v] {
+						rel[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return rel
+}
+
+func intersects(a, b map[string]bool) bool {
+	for v := range a {
+		if b[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// contract collapses skip chains: a non-entry location whose only
+// outgoing edge is a skip to a different location with the same
+// atomicity is identified with that target. A location reached this way
+// only stutters — its single transition is always enabled, accesses
+// nothing, and changes no state — so identifying the two preserves weak
+// bisimilarity and, because the atomicity flags agree, the race
+// semantics. Skip self-loops produced by the identification are dropped.
+func contract(c *cfa.CFA, reach []bool, edges []*cfa.Edge) *cfa.CFA {
+	n := c.NumLocs()
+	rep := make([]cfa.Loc, n)
+	for i := range rep {
+		rep[i] = cfa.Loc(i)
+	}
+	var find func(l cfa.Loc) cfa.Loc
+	find = func(l cfa.Loc) cfa.Loc {
+		for rep[l] != l {
+			rep[l] = rep[rep[l]] // path halving
+			l = rep[l]
+		}
+		return l
+	}
+
+	// own[u] lists u's own outgoing edges; the merge rule only ever
+	// inspects a location's own behaviour, so later merges into u cannot
+	// invalidate a decision already made about u.
+	own := make([][]*cfa.Edge, n)
+	for _, e := range edges {
+		own[e.Src] = append(own[e.Src], e)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := cfa.Loc(0); int(u) < n; u++ {
+			if !reach[u] || u == c.Entry || find(u) != u || len(own[u]) != 1 {
+				continue
+			}
+			e := own[u][0]
+			if !isSkip(e.Op) {
+				continue
+			}
+			d := find(e.Dst)
+			if d == u || c.Atomic[u] != c.Atomic[e.Dst] {
+				continue
+			}
+			rep[u] = d
+			changed = true
+		}
+	}
+
+	// Renumber the surviving locations in original order and map edges,
+	// dropping skip self-loops (pure stutter) and exact duplicates.
+	newIdx := make([]cfa.Loc, n)
+	var atomic []bool
+	for l := 0; l < n; l++ {
+		if reach[l] && find(cfa.Loc(l)) == cfa.Loc(l) {
+			newIdx[l] = cfa.Loc(len(atomic))
+			atomic = append(atomic, c.Atomic[l])
+		}
+	}
+	seen := make(map[string]bool, len(edges))
+	var out []*cfa.Edge
+	for _, e := range edges {
+		src, dst := find(e.Src), find(e.Dst)
+		if src == dst && isSkip(e.Op) {
+			continue
+		}
+		key := edgeKey(newIdx[src], newIdx[dst], e.Op)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, &cfa.Edge{Src: newIdx[src], Dst: newIdx[dst], Op: e.Op, Pos: e.Pos})
+	}
+
+	// Keep only the locals the slice still mentions (in declaration
+	// order); dropping the rest shrinks every abstract state.
+	var locals []string
+	used := usedVars(out)
+	for _, v := range c.Locals {
+		if used[v] {
+			locals = append(locals, v)
+		}
+	}
+	return cfa.New(c.Name, c.Globals, locals, newIdx[find(c.Entry)], atomic, out)
+}
+
+func isSkip(op cfa.Op) bool {
+	if op.Kind != cfa.OpAssume {
+		return false
+	}
+	b, ok := op.Pred.(expr.Bool)
+	return ok && b.Value
+}
+
+func edgeKey(src, dst cfa.Loc, op cfa.Op) string {
+	return fmt.Sprintf("%d|%d|%s", src, dst, op)
+}
+
+func usedVars(edges []*cfa.Edge) map[string]bool {
+	used := make(map[string]bool)
+	for _, e := range edges {
+		for v := range e.Op.ReadVars() {
+			used[v] = true
+		}
+		if w := e.Op.WritesVar(); w != "" {
+			used[w] = true
+		}
+	}
+	return used
+}

@@ -1,0 +1,147 @@
+package dataflow
+
+import (
+	"testing"
+
+	"circ/internal/cfa"
+)
+
+// sliceSrc has a synchronisation protocol on x (relevant) plus a counter
+// and a second global that do not influence x at all.
+const sliceSrc = `
+global int x;
+global int junk;
+
+thread T {
+  local int old;
+  local int i;
+  while (1) {
+    i = i + 1;
+    junk = junk + i;
+    atomic {
+      old = x;
+      if (x == 0) { x = 1; }
+    }
+    if (old == 0) { x = 0; }
+  }
+}
+`
+
+func TestSliceRemovesIrrelevantCone(t *testing.T) {
+	c := mustBuild(t, sliceSrc, "")
+	s, stats := Slice(c, "x")
+	if stats.AssignsSkipped < 2 {
+		t.Errorf("AssignsSkipped = %d, want >= 2 (i and junk updates)", stats.AssignsSkipped)
+	}
+	if stats.LocsAfter >= stats.LocsBefore {
+		t.Errorf("no contraction: locs %d -> %d", stats.LocsBefore, stats.LocsAfter)
+	}
+	if stats.EdgesAfter >= stats.EdgesBefore {
+		t.Errorf("no edge reduction: edges %d -> %d", stats.EdgesBefore, stats.EdgesAfter)
+	}
+	if !stats.Changed() {
+		t.Error("stats.Changed() = false after a real slice")
+	}
+	// Nothing in the slice may mention the irrelevant variables.
+	for _, e := range s.Edges {
+		if e.Reads()["junk"] || e.Reads()["i"] || e.Writes() == "junk" || e.Writes() == "i" {
+			t.Errorf("sliced edge still mentions an irrelevant variable: %s", e)
+		}
+	}
+	for _, l := range s.Locals {
+		if l == "i" {
+			t.Error("local i survived the slice")
+		}
+	}
+	// The protocol on old/x must survive intact: accesses to x keep their
+	// count and atomicity.
+	if got, want := countAccesses(s, "x"), countAccesses(c, "x"); got != want {
+		t.Errorf("accesses to x: %d after slice, %d before", got, want)
+	}
+	if !mentions(s, "old") {
+		t.Error("slice dropped the guard variable old (control dependence)")
+	}
+}
+
+// countAccesses counts (edge, atomicity) access pairs to g.
+func countAccesses(c *cfa.CFA, g string) (n int) {
+	for _, e := range c.Edges {
+		if e.Writes() == g || e.Reads()[g] {
+			n++
+			if c.IsAtomic(e.Src) {
+				n += 1 << 16 // fold atomicity into the count
+			}
+		}
+	}
+	return n
+}
+
+func mentions(c *cfa.CFA, v string) bool {
+	for _, e := range c.Edges {
+		if e.Reads()[v] || e.Writes() == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSliceOnTargetAloneIsStillSound(t *testing.T) {
+	// Slicing for junk: the x protocol is control-relevant (branch
+	// predicates [x==0] and [old==0]), so it must be retained even though
+	// junk's own cone is tiny.
+	c := mustBuild(t, sliceSrc, "")
+	s, _ := Slice(c, "junk")
+	if !mentions(s, "x") || !mentions(s, "old") {
+		t.Error("branch predicates over x/old were sliced away; control dependence lost")
+	}
+	if !mentions(s, "junk") || !mentions(s, "i") {
+		t.Error("junk's own data cone (junk, i) missing from the slice")
+	}
+}
+
+func TestSliceDeterministic(t *testing.T) {
+	c := mustBuild(t, sliceSrc, "")
+	a, sa := Slice(c, "x")
+	b, sb := Slice(c, "x")
+	if a.Dot() != b.Dot() || sa != sb {
+		t.Fatal("Slice is not deterministic")
+	}
+	// And it must not touch its input: rebuilding gives the same CFA.
+	again := mustBuild(t, sliceSrc, "")
+	if c.Dot() != again.Dot() {
+		t.Fatal("Slice mutated its input CFA")
+	}
+}
+
+func TestSliceContractsSkipChains(t *testing.T) {
+	// Even with nothing irrelevant, builder-inserted skip chains (loop
+	// back-edges, join points) contract away.
+	c := mustBuild(t, sliceSrc, "")
+	s, stats := Slice(c, "x")
+	if s.NumLocs() != stats.LocsAfter || len(s.Edges) != stats.EdgesAfter {
+		t.Fatalf("stats disagree with the CFA: locs %d vs %d, edges %d vs %d",
+			s.NumLocs(), stats.LocsAfter, len(s.Edges), stats.EdgesAfter)
+	}
+	// No non-entry location may retain a lone skip out-edge to a
+	// same-atomicity target: contract() reached a fixpoint.
+	for l := cfa.Loc(0); int(l) < s.NumLocs(); l++ {
+		if l == s.Entry {
+			continue
+		}
+		out := s.OutEdges(l)
+		if len(out) == 1 && isSkip(out[0].Op) && out[0].Dst != l && s.IsAtomic(l) == s.IsAtomic(out[0].Dst) {
+			t.Errorf("location %d still has a contractible skip to %d", l, out[0].Dst)
+		}
+	}
+}
+
+func TestSliceEntryPreserved(t *testing.T) {
+	c := mustBuild(t, sliceSrc, "")
+	s, _ := Slice(c, "x")
+	if int(s.Entry) < 0 || int(s.Entry) >= s.NumLocs() {
+		t.Fatalf("sliced entry %d out of range [0,%d)", s.Entry, s.NumLocs())
+	}
+	if len(s.OutEdges(s.Entry)) == 0 {
+		t.Fatal("sliced entry has no outgoing edges")
+	}
+}

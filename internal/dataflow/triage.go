@@ -1,0 +1,114 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"circ/internal/cfa"
+)
+
+// Discharge reasons, as they appear in verdict provenance
+// ("triage: read-only") and telemetry counter names.
+const (
+	// ReasonThreadLocal: no reachable edge of the thread template accesses
+	// the global at all, so no copy of the thread can participate in a
+	// race on it.
+	ReasonThreadLocal = "thread-local"
+	// ReasonReadOnly: the thread never writes the global. A race requires
+	// at least one write, and in the symmetric-thread model every
+	// potential writer runs this same template.
+	ReasonReadOnly = "read-only"
+	// ReasonAtomicCovered: every reachable access to the global sits on
+	// an edge whose source location is atomic. An accessing thread
+	// therefore occupies an atomic location, and the race definition
+	// excludes states with any occupied atomic location.
+	ReasonAtomicCovered = "atomic-covered"
+)
+
+// Discharge is a statically proved race-freedom verdict for one
+// (thread, global) pair.
+type Discharge struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Detail is a one-line human rendering of the evidence.
+	Detail string
+}
+
+// CounterKey renders the reason as a telemetry counter suffix
+// ("read-only" -> "read_only").
+func CounterKey(reason string) string {
+	out := make([]byte, len(reason))
+	for i := 0; i < len(reason); i++ {
+		if reason[i] == '-' {
+			out[i] = '_'
+		} else {
+			out[i] = reason[i]
+		}
+	}
+	return string(out)
+}
+
+// Triage attempts to discharge the race question for global g on thread
+// template c without running the inference engine. Each rule is a sound
+// under the engine's race definition (see the Reason* constants): a
+// discharge means no reachable state of "unboundedly many copies of c"
+// is a race state on g. Unreachable code (locations with no path from
+// the entry) is ignored — accesses there cannot occur.
+func Triage(c *cfa.CFA, g string) (Discharge, bool) {
+	reach := reachableLocs(c)
+	var reads, writes, uncovered int
+	for _, e := range c.Edges {
+		if !reach[e.Src] {
+			continue
+		}
+		w := e.Writes() == g
+		r := e.Reads()[g]
+		if !w && !r {
+			continue
+		}
+		if w {
+			writes++
+		}
+		if r {
+			reads++
+		}
+		if !c.IsAtomic(e.Src) {
+			uncovered++
+		}
+	}
+	switch {
+	case reads == 0 && writes == 0:
+		return Discharge{
+			Reason: ReasonThreadLocal,
+			Detail: fmt.Sprintf("no reachable edge of %s accesses %s", c.Name, g),
+		}, true
+	case writes == 0:
+		return Discharge{
+			Reason: ReasonReadOnly,
+			Detail: fmt.Sprintf("%s reads %s on %d edge(s) but never writes it", c.Name, g, reads),
+		}, true
+	case uncovered == 0:
+		return Discharge{
+			Reason: ReasonAtomicCovered,
+			Detail: fmt.Sprintf("all %d access(es) to %s leave atomic locations", reads+writes, g),
+		}, true
+	}
+	return Discharge{}, false
+}
+
+// reachableLocs marks the locations reachable from the entry.
+func reachableLocs(c *cfa.CFA) []bool {
+	seen := make([]bool, c.NumLocs())
+	stack := []cfa.Loc{c.Entry}
+	seen[c.Entry] = true
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range c.OutEdges(l) {
+			if !seen[e.Dst] {
+				seen[e.Dst] = true
+				stack = append(stack, e.Dst)
+			}
+		}
+	}
+	return seen
+}

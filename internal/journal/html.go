@@ -120,6 +120,11 @@ func renderTimeline(e Event) (timelineRow, bool) {
 		row.Detail = fmt.Sprintf("%s predicate %s (round %d)", e.Outcome, e.Pred, e.Round)
 	case EvACFACollapsed:
 		row.Detail = fmt.Sprintf("bisimulation quotient: %d → %d locations", e.LocsBefore, e.LocsAfter)
+	case EvTriageVerdict:
+		row.Detail = fmt.Sprintf("statically discharged: %s (%s)", e.Verdict, e.Reason)
+	case EvCFASliced:
+		row.Detail = fmt.Sprintf("cone-of-influence slice: %d → %d locations, %d → %d edges",
+			e.LocsBefore, e.LocsAfter, e.EdgesBefore, e.EdgesAfter)
 	case EvSMTPhaseStats:
 		var parts []string
 		if e.Queries > 0 {

@@ -69,6 +69,15 @@ const (
 	// delta is attributable. These rules keep the journal byte-identical
 	// at any parallelism.
 	EvSMTPhaseStats = "smt_phase_stats"
+	// EvTriageVerdict: the static triage stage discharged the case before
+	// CIRC ran (verdict is always "safe"; reason names the discharge
+	// rule: read-only, atomic-covered, or thread-local). A normal
+	// EvVerdict follows so downstream consumers see one uniform verdict
+	// stream.
+	EvTriageVerdict = "triage_verdict"
+	// EvCFASliced: the cone-of-influence slicer rewrote the thread CFA
+	// for this case (locs_before/after, edges_before/after).
+	EvCFASliced = "cfa_sliced"
 	// EvVerdict: the analysis concluded (verdict, reason, k, num_preds,
 	// rounds).
 	EvVerdict = "verdict"
@@ -104,9 +113,13 @@ type Event struct {
 	// counter_widened.
 	Loc int `json:"loc,omitempty"`
 
-	// acfa_collapsed.
+	// acfa_collapsed, cfa_sliced.
 	LocsBefore int `json:"locs_before,omitempty"`
 	LocsAfter  int `json:"locs_after,omitempty"`
+
+	// cfa_sliced.
+	EdgesBefore int `json:"edges_before,omitempty"`
+	EdgesAfter  int `json:"edges_after,omitempty"`
 
 	// smt_phase_stats.
 	Phase        string `json:"phase,omitempty"`
@@ -432,6 +445,18 @@ func validateEvent(e Event, lastSeq map[string]int64) error {
 	case EvACFACollapsed:
 		if e.LocsBefore < e.LocsAfter {
 			return fmt.Errorf("acfa_collapsed grew: %d -> %d", e.LocsBefore, e.LocsAfter)
+		}
+	case EvTriageVerdict:
+		if e.Verdict != "safe" {
+			return fmt.Errorf("triage_verdict with verdict %q (triage can only prove safety)", e.Verdict)
+		}
+		if e.Reason == "" {
+			return fmt.Errorf("triage_verdict without a discharge reason")
+		}
+	case EvCFASliced:
+		if e.LocsBefore < e.LocsAfter || e.EdgesBefore < e.EdgesAfter {
+			return fmt.Errorf("cfa_sliced grew: locs %d -> %d, edges %d -> %d",
+				e.LocsBefore, e.LocsAfter, e.EdgesBefore, e.EdgesAfter)
 		}
 	case EvSMTPhaseStats:
 		if e.Phase == "" {

@@ -1,0 +1,161 @@
+package circ
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"circ/internal/benchapps"
+	"circ/internal/journal"
+)
+
+// The static triage and slicing stages are sound over-approximations, so
+// turning them on must never change a Safe or Unsafe verdict. The only
+// drift they are allowed to cause is upgrading an Unknown (CIRC ran out
+// of refinement budget on the full CFA) to Safe: triage discharges the
+// pair outright, or CIRC converges on the smaller sliced CFA. These
+// differential tests run every example program — and, outside -short,
+// the benchapps suite — with the stages on and off and enforce exactly
+// that contract, both on the batch reports and on the journal's verdict
+// events.
+
+// diffRun batch-checks src once and returns the report plus the verdict
+// recorded by each case's journal verdict events.
+func diffRun(t *testing.T, src string, opts ...Option) (*BatchReport, map[string][]string) {
+	t.Helper()
+	j := NewJournal()
+	b, err := CheckAllRaces(context.Background(), src, append(opts, WithJournal(j))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string][]string{}
+	for _, e := range j.Events() {
+		if e.Type == journal.EvVerdict {
+			verdicts[e.Case] = append(verdicts[e.Case], e.Verdict)
+		}
+	}
+	return b, verdicts
+}
+
+// assertDifferential checks the on-vs-off contract for one program.
+func assertDifferential(t *testing.T, name, src string) {
+	t.Helper()
+	off, offVerdicts := diffRun(t, src, WithTriage(false), WithSlicing(false))
+	on, onVerdicts := diffRun(t, src)
+	if len(on.Results) != len(off.Results) {
+		t.Fatalf("%s: %d targets with triage on, %d with it off", name, len(on.Results), len(off.Results))
+	}
+	for i, ro := range off.Results {
+		rn := on.Results[i]
+		if rn.Target != ro.Target {
+			t.Fatalf("%s: target order differs: %s vs %s", name, rn.Target, ro.Target)
+		}
+		if (rn.Err != nil) != (ro.Err != nil) {
+			t.Errorf("%s %s: err=%v with triage on, err=%v with it off", name, ro.Target, rn.Err, ro.Err)
+			continue
+		}
+		if ro.Err != nil {
+			continue
+		}
+		want, got := ro.Report.Verdict, rn.Report.Verdict
+		if !verdictCompatible(want, got) {
+			t.Errorf("%s %s: verdict %v with triage on, %v with it off", name, ro.Target, got, want)
+		}
+	}
+	// The journal must tell the same story: one verdict event per case,
+	// with the same verdict modulo the allowed Unknown→Safe upgrade.
+	for c, wants := range offVerdicts {
+		gots := onVerdicts[c]
+		if len(gots) != len(wants) {
+			t.Errorf("%s case %s: %d journal verdict events with triage on, %d with it off", name, c, len(gots), len(wants))
+			continue
+		}
+		for i := range wants {
+			if !verdictStringCompatible(wants[i], gots[i]) {
+				t.Errorf("%s case %s: journal verdict %q with triage on, %q with it off", name, c, gots[i], wants[i])
+			}
+		}
+	}
+	for c := range onVerdicts {
+		if _, ok := offVerdicts[c]; !ok {
+			t.Errorf("%s: case %s has journal verdict events only with triage on", name, c)
+		}
+	}
+}
+
+// verdictCompatible reports whether the triage-on verdict got is an
+// acceptable outcome given the triage-off verdict want: identical, or a
+// sound Unknown→Safe upgrade.
+func verdictCompatible(want, got Verdict) bool {
+	if want == got {
+		return true
+	}
+	return want == Unknown && got == Safe
+}
+
+func verdictStringCompatible(want, got string) bool {
+	if want == got {
+		return true
+	}
+	return want == "unknown" && got == "safe"
+}
+
+// TestDifferentialExamples runs every shipped example program with the
+// static stages on and off. The examples have no Unknown verdicts, so
+// here the contract degenerates to byte-identical verdicts.
+func TestDifferentialExamples(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("examples", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mn") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".mn")
+		src, err := os.ReadFile(filepath.Join("examples", "programs", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			assertDifferential(t, name, string(src))
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}
+
+// TestDifferentialBenchapps runs the Table 1 models, the Section 6 race
+// findings, the false-positive suite, and the whole-application model
+// through the same on/off differential. The appmodel leg is the one that
+// exercises the Unknown→Safe upgrade path; it is also the slowest, so
+// the whole test is skipped under -short.
+func TestDifferentialBenchapps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchapps differential is slow; skipped with -short")
+	}
+	seen := map[string]bool{}
+	var apps []benchapps.App
+	for _, set := range [][]benchapps.App{benchapps.Table1(), benchapps.Section6Races(), benchapps.FalsePositiveSuite()} {
+		for _, app := range set {
+			if seen[app.Name] {
+				continue
+			}
+			seen[app.Name] = true
+			apps = append(apps, app)
+		}
+	}
+	for _, app := range apps {
+		t.Run(app.Name, func(t *testing.T) {
+			assertDifferential(t, app.Name, app.Source)
+		})
+	}
+	t.Run("appmodel", func(t *testing.T) {
+		assertDifferential(t, "appmodel", benchapps.AppModel)
+	})
+}
