@@ -1,0 +1,184 @@
+// Package apiv1 defines the versioned JSON wire types of the circd
+// checker daemon. These are the daemon's compatibility contract: field
+// names here are stable, additions are backwards compatible, and
+// renames or removals require a new API version. The types are plain
+// data — no behaviour, no dependency on the checker's internal types —
+// so clients in any language can be generated from this file alone.
+//
+// Endpoints (all rooted at /v1):
+//
+//	POST /v1/check            CheckRequest  -> SubmitResponse (202)
+//	GET  /v1/jobs/{id}        -> Job
+//	GET  /v1/jobs/{id}/events -> text/event-stream of journal events
+//	GET  /v1/jobs/{id}/report -> text/html flight-recorder report
+//	GET  /v1/stats            -> Stats
+//
+// Errors are returned as an Error body with a matching HTTP status.
+package apiv1
+
+import "time"
+
+// CheckRequest submits a program for race checking.
+type CheckRequest struct {
+	// Program is the source text in the checker's input language.
+	Program string `json:"program"`
+	// Targets restricts the analysis to specific (thread, variable)
+	// pairs. Empty means every (thread, global) pair of the program.
+	Targets []Target `json:"targets,omitempty"`
+	// Options tunes the engine; nil selects the daemon's defaults.
+	Options *Options `json:"options,omitempty"`
+}
+
+// Target names one analysis unit: a thread template and the global
+// variable checked for races on it.
+type Target struct {
+	// Thread is the thread template name; empty selects the program's
+	// sole thread.
+	Thread string `json:"thread,omitempty"`
+	// Variable is the global to check.
+	Variable string `json:"variable"`
+}
+
+// Options are the engine knobs a request may override. Zero values mean
+// "daemon default", so a partial object is always valid.
+type Options struct {
+	// K is the initial counter parameter of the context model.
+	K int `json:"k,omitempty"`
+	// Omega selects the omega-CIRC variant (counter widening to ω).
+	Omega bool `json:"omega,omitempty"`
+	// Parallelism bounds the job's worker pool; capped by the daemon.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Triage disables ("off") or forces ("on") the static triage stage.
+	// Empty keeps the default (on).
+	Triage string `json:"triage,omitempty"`
+	// Slicing disables ("off") or forces ("on") cone-of-influence
+	// slicing. Empty keeps the default (on).
+	Slicing string `json:"slicing,omitempty"`
+	// MaxRounds, MaxInner and MaxStates bound the inference; zero keeps
+	// the engine defaults.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	MaxInner  int `json:"max_inner,omitempty"`
+	MaxStates int `json:"max_states,omitempty"`
+	// TimeoutSeconds cancels the job after this much wall-clock time;
+	// zero applies the daemon's per-job default.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	// JobID identifies the job in subsequent requests.
+	JobID string `json:"job_id"`
+	// State is the job's state at acceptance ("queued").
+	State string `json:"state"`
+	// JobURL and EventsURL are the poll and live-journal endpoints for
+	// this job, relative to the server root.
+	JobURL    string `json:"job_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is the polled view of a submission.
+type Job struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is set when State is "failed" or "cancelled".
+	Error string `json:"error,omitempty"`
+	// Results holds one entry per target, in deterministic program
+	// order, once the job is done.
+	Results []TargetResult `json:"results,omitempty"`
+	// Summary is the human-readable batch summary, once done.
+	Summary     string     `json:"summary,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// ElapsedSeconds is the batch wall-clock time, once done.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+}
+
+// TargetResult is one target's verdict.
+type TargetResult struct {
+	Thread   string `json:"thread,omitempty"`
+	Variable string `json:"variable"`
+	// Verdict is "safe", "unsafe", "unknown", or "error".
+	Verdict string `json:"verdict"`
+	// Reason qualifies unknown/error verdicts.
+	Reason string `json:"reason,omitempty"`
+	// Triage names the static rule that discharged the pair without
+	// running inference ("read-only", "thread-local", "atomic-covered").
+	Triage string `json:"triage,omitempty"`
+	// Summary is the one-line human-readable report.
+	Summary string `json:"summary,omitempty"`
+	// K, Preds and Rounds describe the evidence: final counter value,
+	// number of inferred predicates, refinement rounds.
+	K      int `json:"k,omitempty"`
+	Preds  int `json:"preds,omitempty"`
+	Rounds int `json:"rounds,omitempty"`
+	// CertificateReused reports that this verdict was re-established
+	// from the daemon's certificate store instead of re-running
+	// inference.
+	CertificateReused bool    `json:"certificate_reused,omitempty"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	// Race is the interleaved race trace (unsafe verdicts only).
+	Race string `json:"race,omitempty"`
+	// Error is the unit's failure, when Verdict is "error".
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is the daemon-wide /v1/stats snapshot.
+type Stats struct {
+	Jobs  JobStats   `json:"jobs"`
+	Arena ArenaStats `json:"arena"`
+	SMT   SMTStats   `json:"smt"`
+	Store StoreStats `json:"store"`
+}
+
+// JobStats counts submissions by outcome. Active is the number of jobs
+// currently queued or running.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Active    int64 `json:"active"`
+}
+
+// ArenaStats describes the shared hash-consing arena.
+type ArenaStats struct {
+	// Nodes is the number of distinct interned expression nodes.
+	Nodes int64 `json:"nodes"`
+}
+
+// SMTStats describes the shared SMT verdict cache.
+type SMTStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	FastPath int64   `json:"fast_path"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// StoreStats describes the certificate store.
+type StoreStats struct {
+	Entries              int     `json:"entries"`
+	Hits                 int64   `json:"hits"`
+	Misses               int64   `json:"misses"`
+	Writes               int64   `json:"writes"`
+	Revalidations        int64   `json:"revalidations"`
+	RevalidationFailures int64   `json:"revalidation_failures"`
+	HitRatio             float64 `json:"hit_ratio"`
+}
+
+// Error is the JSON error body accompanying every non-2xx response.
+type Error struct {
+	// Code is a stable machine-readable identifier, e.g. "parse_error",
+	// "not_found", "draining", "invalid_request".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

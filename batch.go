@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"circ/internal/cfa"
-	icirc "circ/internal/circ"
 	"circ/internal/journal"
 	"circ/internal/smt"
 	"circ/internal/telemetry"
@@ -111,13 +110,23 @@ func (b *BatchReport) Summary() string {
 // frontier-parallel reachability instead. Verdicts are identical either
 // way.
 func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error) {
+	return c.CheckTargets(ctx, p, nil)
+}
+
+// CheckTargets is CheckAll restricted to an explicit target list, in the
+// given order. A nil or empty list means every (thread, global) pair. It
+// is the daemon's submission path: a request naming targets runs exactly
+// those units, with the same pooling, journaling, and certificate-store
+// behaviour as a whole-program batch.
+func (c *Checker) CheckTargets(ctx context.Context, p *Program, targets []Target) (*BatchReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var targets []Target
-	for _, th := range p.ThreadNames() {
-		for _, g := range p.Globals() {
-			targets = append(targets, Target{Thread: th, Variable: g})
+	if len(targets) == 0 {
+		for _, th := range p.ThreadNames() {
+			for _, g := range p.Globals() {
+				targets = append(targets, Target{Thread: th, Variable: g})
+			}
 		}
 	}
 	// Pre-build the CFAs sequentially: construction is cheap relative to
@@ -210,29 +219,22 @@ func (c *Checker) CheckAll(ctx context.Context, p *Program) (*BatchReport, error
 					s = streams[i]
 				}
 				s.Emit(journal.Event{Type: journal.EvCaseStarted})
-				if s.Enabled() {
-					uctx = journal.NewContext(uctx, s)
-				}
 				var rep *Report
 				err := prebuildErr[i]
 				if err == nil {
 					if cerr := ctx.Err(); cerr != nil {
 						err = cerr
 					} else {
-						// Static triage first: discharged pairs produce
-						// their report here and never touch the solver.
-						// Survivors run CIRC on the cone-of-influence
-						// slice. Both stages are deterministic per case,
-						// so the journal stays independent of the worker
+						// checkUnit runs static triage first (discharged
+						// pairs produce their report without touching the
+						// solver), then the certificate store when one is
+						// attached, then CIRC on the cone-of-influence
+						// slice. Every stage is deterministic per case, so
+						// the journal stays independent of the worker
 						// count.
-						g, trep := c.prepareUnit(cfas[i], t.Variable, s, breg)
-						if trep != nil {
-							rep = trep
-						} else {
-							o := c.options(logger, inner)
-							o.Metrics = breg
-							rep, err = icirc.Check(uctx, g, t.Variable, o, c.solver)
-						}
+						o := c.options(logger, inner)
+						o.Metrics = breg
+						rep, err = c.checkUnit(uctx, cfas[i], t.Variable, s, o)
 					}
 				}
 				done := journal.Event{Type: journal.EvCaseDone}

@@ -98,7 +98,7 @@ func BenchmarkTable1(b *testing.B) {
 // CFA construction (Figure 1b), CIRC inference, final ACFA (Figure 1c).
 func BenchmarkFigure1_TestAndSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := CheckRace(figure1Src, CheckOptions{Variable: "x"})
+		rep, err := Check(context.Background(), figure1Src, WithTarget("", "x"))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -56,6 +56,7 @@ import (
 	"circ/internal/param"
 	"circ/internal/refine"
 	"circ/internal/smt"
+	"circ/internal/store"
 	"circ/internal/telemetry"
 )
 
@@ -223,6 +224,11 @@ type Checker struct {
 	slicing     bool
 	solver      *smt.CachedChecker
 	journal     *journal.Recorder
+	store       *store.Store
+	// thread/variable are the default target of the package-level Check
+	// entry point, set with WithTarget.
+	thread   string
+	variable string
 }
 
 // Option configures a Checker.
@@ -308,6 +314,13 @@ func WithBudgets(maxRounds, maxInner, maxStates int) Option {
 	}
 }
 
+// WithTarget sets the default (thread, variable) target used by the
+// package-level Check entry point. Thread may be empty for single-thread
+// programs; the variable is required there.
+func WithTarget(thread, variable string) Option {
+	return func(c *Checker) { c.thread, c.variable = thread, variable }
+}
+
 // NewChecker returns a Checker with the given options applied.
 func NewChecker(opts ...Option) *Checker {
 	c := &Checker{
@@ -324,6 +337,24 @@ func NewChecker(opts ...Option) *Checker {
 	}
 	c.solver.Instrument(c.registry, c.tracer)
 	return c
+}
+
+// Derive returns a copy of the Checker with opts applied on top of the
+// receiver's configuration. The derived Checker shares the receiver's
+// SMT solver cache, metrics registry, and certificate store — the
+// process-wide state a long-running service amortizes across requests —
+// while per-request settings (k, omega, budgets, parallelism, journal,
+// logger) may be overridden freely. Overriding the tracer or registry on
+// a derived Checker is not supported; attach those to the root Checker.
+func (c *Checker) Derive(opts ...Option) *Checker {
+	d := *c
+	for _, o := range opts {
+		o(&d)
+	}
+	if d.parallelism <= 0 {
+		d.parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &d
 }
 
 // SMTStats returns a snapshot of the shared SMT cache counters: hits,
@@ -417,14 +448,7 @@ func (c *Checker) Check(ctx context.Context, p *Program, thread, variable string
 	if c.journal != nil {
 		s = c.journal.Stream(journalCase(thread, variable))
 	}
-	g, rep := c.prepareUnit(g, variable, s, c.registry)
-	if rep != nil {
-		return rep, nil
-	}
-	if s.Enabled() {
-		ctx = journal.NewContext(ctx, s)
-	}
-	return icirc.Check(ctx, g, variable, c.options(c.logger, c.parallelism), c.solver)
+	return c.checkUnit(ctx, g, variable, s, c.options(c.logger, c.parallelism))
 }
 
 // journalCase names the journal case of one (thread, variable) analysis;
@@ -481,12 +505,41 @@ func (c *Checker) VerifyCertificate(ctx context.Context, p *Program, thread, var
 	return icirc.VerifyCertificate(ctx, g, variable, rep.FinalACFA, rep.Preds, rep.K, c.solver)
 }
 
-// CheckOptions configures the deprecated one-shot entry points.
+// Check is the one-shot entry point: it parses src, builds a Checker
+// from opts, and runs CIRC on the target selected with WithTarget (or on
+// the single thread and sole global when the program declares exactly
+// one of each and no target was given). It is the documented way to run
+// a single analysis:
 //
-// Deprecated: use NewChecker with functional options (WithK, WithOmega,
-// WithLog, WithParallelism, WithBudgets) and the Checker methods instead;
-// they add context cancellation, frontier-parallel analysis, and a shared
-// SMT cache across calls.
+//	rep, err := circ.Check(ctx, src, circ.WithTarget("Worker", "x"), circ.WithOmega(true))
+//
+// For repeated analyses, batches, or a long-running service, construct a
+// Checker once with NewChecker (or derive per-request variants with
+// Checker.Derive) so the SMT cache, metrics, and certificate store are
+// shared across calls; CheckAllRaces is the whole-program batch
+// complement.
+func Check(ctx context.Context, src string, opts ...Option) (*Report, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := NewChecker(opts...)
+	thread, variable := c.thread, c.variable
+	if variable == "" && len(p.ast.Globals) == 1 {
+		variable = p.ast.Globals[0].Name
+	}
+	return c.Check(ctx, p, thread, variable)
+}
+
+// CheckOptions configures the deprecated one-shot entry points. It is a
+// thin shim: Options translates it into the equivalent functional
+// options, and every deprecated entry point is a wrapper over the
+// Checker API.
+//
+// Deprecated: use Check (one-shot), or NewChecker with functional
+// options (WithTarget, WithK, WithOmega, WithLog, WithParallelism,
+// WithBudgets) and the Checker methods; they add context cancellation,
+// frontier-parallel analysis, and a shared SMT cache across calls.
 type CheckOptions struct {
 	// Variable is the global to check for races (required).
 	Variable string
@@ -504,32 +557,34 @@ type CheckOptions struct {
 	MaxRounds, MaxInner, MaxStates int
 }
 
-// checker builds the equivalent Checker for the deprecated options
-// (sequential, fresh SMT cache — the historical behaviour).
-func (o CheckOptions) checker() *Checker {
-	return NewChecker(
+// Options translates the legacy struct into the equivalent functional
+// options (sequential, fresh SMT cache — the historical behaviour).
+func (o CheckOptions) Options() []Option {
+	opts := []Option{
+		WithTarget(o.Thread, o.Variable),
 		WithK(o.K),
 		WithOmega(o.Omega),
-		WithLog(o.Log),
 		WithParallelism(1),
 		WithBudgets(o.MaxRounds, o.MaxInner, o.MaxStates),
-	)
+	}
+	if o.Log != nil {
+		opts = append(opts, WithLog(o.Log))
+	}
+	return opts
 }
+
+// checker builds the equivalent Checker for the deprecated options.
+func (o CheckOptions) checker() *Checker { return NewChecker(o.Options()...) }
 
 // CheckRace runs CIRC on the program denoted by src: it verifies that
 // arbitrarily many copies of the thread running concurrently are free of
 // data races on the given variable, or returns a genuine interleaved race
 // trace.
 //
-// Deprecated: use NewChecker(...).CheckSource, which adds context
-// cancellation and parallel analysis. CheckRace remains as a thin
+// Deprecated: use Check with WithTarget. CheckRace remains as a thin
 // compatibility wrapper.
 func CheckRace(src string, opts CheckOptions) (*Report, error) {
-	p, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return CheckProgram(p, opts)
+	return Check(context.Background(), src, opts.Options()...)
 }
 
 // CheckProgram is CheckRace for an already-parsed program.
@@ -544,6 +599,9 @@ func CheckProgram(p *Program, opts CheckOptions) (*Report, error) {
 // VerifyCertificate re-checks a Safe verdict's evidence; see
 // Checker.VerifyCertificate. It returns nil for a valid certificate and a
 // *CertificateError naming the failed obligation otherwise.
+//
+// Deprecated: use Checker.VerifyCertificate, which shares the Checker's
+// SMT cache with the run that produced the certificate.
 func VerifyCertificate(ctx context.Context, p *Program, opts CheckOptions, rep *Report) error {
 	return opts.checker().VerifyCertificate(ctx, p, opts.Thread, opts.Variable, rep)
 }

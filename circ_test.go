@@ -30,7 +30,7 @@ thread Worker {
 `
 
 func TestPublicAPISafe(t *testing.T) {
-	rep, err := CheckRace(tasSrc, CheckOptions{Variable: "x"})
+	rep, err := Check(context.Background(), tasSrc, WithTarget("", "x"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,13 +43,13 @@ func TestPublicAPISafe(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	if _, err := CheckRace(tasSrc, CheckOptions{}); !errors.Is(err, ErrNoVariable) {
-		t.Fatalf("missing Variable: got %v, want ErrNoVariable", err)
+	if _, err := Check(context.Background(), tasSrc); !errors.Is(err, ErrNoVariable) {
+		t.Fatalf("missing target: got %v, want ErrNoVariable", err)
 	}
-	if _, err := CheckRace("syntax error", CheckOptions{Variable: "x"}); err == nil {
+	if _, err := Check(context.Background(), "syntax error", WithTarget("", "x")); err == nil {
 		t.Fatalf("parse error not propagated")
 	}
-	if _, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Thread: "Nope"}); !errors.Is(err, ErrUnknownThread) {
+	if _, err := Check(context.Background(), tasSrc, WithTarget("Nope", "x")); !errors.Is(err, ErrUnknownThread) {
 		t.Fatalf("unknown thread: got %v, want ErrUnknownThread", err)
 	}
 	// The new Checker API reports the same sentinels.
@@ -137,7 +137,7 @@ func TestCrossValidationAgainstExplicit(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := CheckRace(app.Source, CheckOptions{Variable: app.Variable})
+			rep, err := Check(context.Background(), app.Source, WithTarget("", app.Variable))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -176,12 +176,12 @@ func TestCrossValidationAgainstExplicit(t *testing.T) {
 }
 
 func TestInterleavingRendering(t *testing.T) {
-	rep, err := CheckRace(`
+	rep, err := Check(context.Background(), `
 global int x;
 thread T {
   while (1) { x = x + 1; }
 }
-`, CheckOptions{Variable: "x"})
+`, WithTarget("", "x"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestWrapperErrorPropagation(t *testing.T) {
 }
 
 func TestOmegaViaPublicAPI(t *testing.T) {
-	rep, err := CheckRace(tasSrc, CheckOptions{Variable: "x", Omega: true})
+	rep, err := Check(context.Background(), tasSrc, WithTarget("", "x"), WithOmega(true))
 	if err != nil {
 		t.Fatal(err)
 	}

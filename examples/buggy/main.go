@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ thread Sense {
 
 func main() {
 	fmt.Println("checking sense's tosPort with the interrupt UNmodelled (buggy) ...")
-	rep, err := circ.CheckRace(buggySrc, circ.CheckOptions{Variable: "tosPort"})
+	rep, err := circ.Check(context.Background(), buggySrc, circ.WithTarget("", "tosPort"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 	}
 
 	fmt.Println("\nchecking again with the interrupt-enable bit modelled (fixed) ...")
-	rep, err = circ.CheckRace(fixedSrc, circ.CheckOptions{Variable: "tosPort"})
+	rep, err = circ.Check(context.Background(), fixedSrc, circ.WithTarget("", "tosPort"))
 	if err != nil {
 		log.Fatal(err)
 	}

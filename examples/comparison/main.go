@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	fmt.Printf("%-36s %-6s | %-8s %-9s %-9s\n", "idiom", "truth", "CIRC", "lockset", "flow")
 	fmt.Println("------------------------------------------------------------------------------")
 	for _, app := range benchapps.FalsePositiveSuite() {
-		rep, err := circ.CheckRace(app.Source, circ.CheckOptions{Variable: app.Variable})
+		rep, err := circ.Check(context.Background(), app.Source, circ.WithTarget("", app.Variable))
 		if err != nil {
 			log.Fatal(err)
 		}

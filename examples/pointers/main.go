@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,14 +67,14 @@ thread Writer {
 
 func main() {
 	for _, buf := range []string{"bufA", "bufB"} {
-		rep, err := circ.CheckRace(safeSrc, circ.CheckOptions{Variable: buf})
+		rep, err := circ.Check(context.Background(), safeSrc, circ.WithTarget("", buf))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("double-buffering, %s: %v (predicates: %d)\n", buf, rep.Verdict, len(rep.Preds))
 	}
 
-	rep, err := circ.CheckRace(racySrc, circ.CheckOptions{Variable: "bufA"})
+	rep, err := circ.Check(context.Background(), racySrc, circ.WithTarget("", "bufA"))
 	if err != nil {
 		log.Fatal(err)
 	}

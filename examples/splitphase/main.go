@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ thread Dev {
 func main() {
 	fmt.Println("checking surge's rec_ptr (split-phase interrupt idiom) ...")
 
-	rep, err := circ.CheckRace(src, circ.CheckOptions{Variable: "rec_ptr"})
+	rep, err := circ.Check(context.Background(), src, circ.WithTarget("", "rec_ptr"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 	fmt.Println(c)
 
 	fmt.Println("== Running CIRC (Figures 2-4: iteration narration) ==")
-	rep, err := circ.CheckRace(src, circ.CheckOptions{Variable: "x", Log: os.Stdout})
+	rep, err := circ.Check(context.Background(), src, circ.WithTarget("", "x"), circ.WithLog(os.Stdout))
 	if err != nil {
 		log.Fatal(err)
 	}

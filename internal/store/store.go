@@ -1,0 +1,205 @@
+// Package store is the content-addressed certificate store behind the
+// checker's incremental re-checking: verdict evidence keyed by a
+// canonical serialization of everything that determines the verdict —
+// the sliced thread CFA, the race variable, and the engine configuration.
+//
+// The store is the daemon's memory between requests. When a program
+// revision is re-submitted, each target's sliced cone of influence is
+// re-serialized; an unchanged cone finds its previous entry and the
+// verdict is re-established from the stored evidence (a Safe entry's
+// certificate is re-verified with Algorithm Check, an Unsafe entry's
+// race witness is re-checked for satisfiability) instead of re-running
+// context inference.
+//
+// Lookups never trust the hash alone: every entry retains the full
+// canonical serialization it was stored under, and Get compares it
+// byte-for-byte, so a SHA-256 collision degrades to a cache miss rather
+// than a wrong verdict.
+package store
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"circ/internal/acfa"
+	"circ/internal/expr"
+	"circ/internal/refine"
+)
+
+// Key addresses one entry: SHA-256 of the canonical serialization of
+// (sliced CFA, race variable, engine configuration).
+type Key [sha256.Size]byte
+
+// KeyOf hashes a canonical serialization.
+func KeyOf(canon []byte) Key { return sha256.Sum256(canon) }
+
+// Verdict mirrors the engine's verdict enumeration without importing it
+// (the engine package is free to depend on the store in the future).
+type Verdict int
+
+// Verdicts.
+const (
+	Unknown Verdict = iota
+	Safe
+	Unsafe
+)
+
+// Entry is the stored evidence for one (sliced CFA, target, config)
+// verdict. Exactly the fields needed to re-establish the verdict are
+// kept; transient per-run data (metrics, iteration history) is not.
+type Entry struct {
+	// Canon is the full canonical serialization the entry was keyed
+	// under; Get compares it byte-for-byte against the probe.
+	Canon []byte
+	// Verdict is the stored outcome.
+	Verdict Verdict
+
+	// Safe evidence: the inferred context model, predicate set, and
+	// counter parameter — the certificate Algorithm Check re-verifies —
+	// plus the round count for faithful reporting.
+	ACFA   *acfa.ACFA
+	Preds  []expr.Expr
+	K      int
+	Rounds int
+
+	// Unsafe evidence: the concrete interleaved race trace, its SSA
+	// trace formula (re-checked for satisfiability on reuse), and the
+	// satisfying witness model.
+	Race    *refine.Interleaving
+	Witness map[string]int64
+	TF      []expr.Expr
+
+	// Unknown evidence: the engine's reason. Unknown verdicts are
+	// deterministic given an identical canonical serialization, so they
+	// replay without re-paying the exhausted budgets.
+	Reason string
+}
+
+// Stats counts store traffic. Hits/Misses split lookup outcomes;
+// Revalidations counts hits whose evidence was re-established,
+// RevalidationFailures hits whose stored evidence no longer verified
+// (these fall back to a full run and overwrite the entry).
+type Stats struct {
+	Hits                 int64
+	Misses               int64
+	Writes               int64
+	Revalidations        int64
+	RevalidationFailures int64
+	Entries              int
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const numShards = 16
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[Key]*Entry
+}
+
+// Store is a sharded, concurrency-safe, content-addressed map from keys
+// to verdict evidence. The zero value is not usable; call New.
+type Store struct {
+	shards [numShards]shard
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	writes        atomic.Int64
+	revalidations atomic.Int64
+	revalFailures atomic.Int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[Key]*Entry)
+	}
+	return s
+}
+
+func (s *Store) shard(k Key) *shard { return &s.shards[int(k[0])%numShards] }
+
+// Get looks up the entry for canon, comparing the stored serialization
+// byte-for-byte (the key is a content hash; equality of content is what
+// soundness arguments rest on). It records a hit or miss.
+func (s *Store) Get(canon []byte) (*Entry, bool) {
+	if s == nil {
+		return nil, false
+	}
+	k := KeyOf(canon)
+	sh := s.shard(k)
+	sh.mu.RLock()
+	e, ok := sh.entries[k]
+	sh.mu.RUnlock()
+	if !ok || string(e.Canon) != string(canon) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e, true
+}
+
+// Put stores e under the hash of its canonical serialization,
+// overwriting any previous entry (e.g. after a failed revalidation).
+func (s *Store) Put(e *Entry) {
+	if s == nil || e == nil || len(e.Canon) == 0 {
+		return
+	}
+	k := KeyOf(e.Canon)
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	s.writes.Add(1)
+}
+
+// Revalidated records that a hit's evidence was independently
+// re-established (ok) or rejected (!ok).
+func (s *Store) Revalidated(ok bool) {
+	if s == nil {
+		return
+	}
+	if ok {
+		s.revalidations.Add(1)
+	} else {
+		s.revalFailures.Add(1)
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats snapshots the traffic counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:                 s.hits.Load(),
+		Misses:               s.misses.Load(),
+		Writes:               s.writes.Load(),
+		Revalidations:        s.revalidations.Load(),
+		RevalidationFailures: s.revalFailures.Load(),
+		Entries:              s.Len(),
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"circ/internal/expr"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	canon := []byte("cfa1|…|x|k=1")
+	if _, ok := s.Get(canon); ok {
+		t.Fatalf("empty store reported a hit")
+	}
+	e := &Entry{Canon: canon, Verdict: Safe, K: 2, Rounds: 3,
+		Preds: []expr.Expr{expr.Var{Name: "state"}}}
+	s.Put(e)
+	got, ok := s.Get(canon)
+	if !ok || got != e {
+		t.Fatalf("Get = %v, %v; want the stored entry", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got, want := st.HitRatio(), 0.5; got != want {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+}
+
+// A key hit whose canonical bytes differ must be a miss: lookups never
+// trust the hash alone.
+func TestGetComparesCanonicalBytes(t *testing.T) {
+	s := New()
+	canon := []byte("payload-a")
+	s.Put(&Entry{Canon: canon, Verdict: Unsafe})
+	// Same key (we cannot forge a SHA-256 collision, so simulate the
+	// defensive comparison by mutating the stored entry's bytes).
+	k := KeyOf(canon)
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.entries[k].Canon = []byte("payload-b")
+	sh.mu.Unlock()
+	if _, ok := s.Get(canon); ok {
+		t.Fatalf("hit despite canonical byte mismatch")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New()
+	canon := []byte("same-key")
+	s.Put(&Entry{Canon: canon, Verdict: Safe})
+	s.Put(&Entry{Canon: canon, Verdict: Unsafe, Reason: "revalidation failed"})
+	e, ok := s.Get(canon)
+	if !ok || e.Verdict != Unsafe {
+		t.Fatalf("overwrite not visible: %+v, %v", e, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	s.Put(&Entry{Canon: []byte("x")})
+	if _, ok := s.Get([]byte("x")); ok {
+		t.Fatalf("nil store hit")
+	}
+	s.Revalidated(true)
+	if s.Len() != 0 || s.Stats() != (Stats{}) {
+		t.Fatalf("nil store not empty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				canon := []byte(fmt.Sprintf("unit-%d", i%50))
+				if _, ok := s.Get(canon); !ok {
+					s.Put(&Entry{Canon: canon, Verdict: Safe, K: i})
+				}
+				s.Revalidated(i%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Len(); n != 50 {
+		t.Fatalf("Len = %d, want 50", n)
+	}
+	st := s.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}

@@ -184,17 +184,17 @@ thread T {
 
 // TestReportSummary covers the three verdicts' one-liners.
 func TestReportSummary(t *testing.T) {
-	rep, err := CheckRace(tasSrc, CheckOptions{Variable: "x"})
+	rep, err := Check(context.Background(), tasSrc, WithTarget("", "x"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s := rep.Summary(); !strings.HasPrefix(s, "safe:") {
 		t.Fatalf("safe summary: %q", s)
 	}
-	rep, err = CheckRace(`
+	rep, err = Check(context.Background(), `
 global int x;
 thread T { while (1) { x = x + 1; } }
-`, CheckOptions{Variable: "x"})
+`, WithTarget("", "x"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,251 @@
+package circ
+
+import (
+	"context"
+	"strconv"
+
+	"circ/internal/cfa"
+	icirc "circ/internal/circ"
+	"circ/internal/expr"
+	"circ/internal/journal"
+	"circ/internal/smt"
+	"circ/internal/store"
+	"circ/internal/telemetry"
+)
+
+// Certificate-store surface (implemented in internal/store): the
+// incremental re-checking layer behind the checker-as-a-service daemon.
+//
+// A CertStore is a content-addressed map from a canonical serialization
+// of (sliced thread CFA, race variable, engine configuration) to the
+// evidence of a previously computed verdict. Attach one with
+// WithCertStore and re-submitting an unchanged program costs a
+// certificate re-verification per target instead of a context-inference
+// run: Safe entries are re-proved with Algorithm Check
+// (VerifyCertificate), Unsafe entries re-establish their race by
+// re-checking the stored trace formula's satisfiability, and Unknown
+// entries replay (sound because the engine is deterministic on identical
+// input). A store hit whose evidence fails re-validation falls back to a
+// full run and overwrites the entry.
+//
+// Store keys never rely on hashing alone: the full canonical
+// serialization is stored and compared byte-for-byte on every hit, so a
+// hash collision degrades to a miss, never a wrong verdict.
+type (
+	// CertStore is a concurrency-safe content-addressed certificate
+	// store, shared across any number of Checkers and requests.
+	CertStore = store.Store
+	// CertStoreStats snapshots store traffic: hits, misses, writes,
+	// revalidations, and entry count.
+	CertStoreStats = store.Stats
+)
+
+// NewCertStore returns an empty certificate store.
+func NewCertStore() *CertStore { return store.New() }
+
+// WithCertStore attaches a certificate store: every unit analysed by the
+// Checker first probes st, and verdicts computed the hard way are stored
+// for the next identical submission. A nil store (the default) disables
+// incremental re-checking.
+func WithCertStore(st *CertStore) Option { return func(c *Checker) { c.store = st } }
+
+// CertStore returns the attached certificate store, or nil.
+func (c *Checker) CertStore() *CertStore { return c.store }
+
+// storeVerdict maps an engine verdict onto the store's own enumeration
+// (kept separate so the store package has no engine dependency).
+func storeVerdict(v Verdict) store.Verdict {
+	switch v {
+	case Safe:
+		return store.Safe
+	case Unsafe:
+		return store.Unsafe
+	}
+	return store.Unknown
+}
+
+func engineVerdict(v store.Verdict) Verdict {
+	switch v {
+	case store.Safe:
+		return Safe
+	case store.Unsafe:
+		return Unsafe
+	}
+	return Unknown
+}
+
+// storeCanon serializes everything that determines a unit's verdict: a
+// format version, the race variable, every verdict-affecting engine
+// option, and the canonical form of the (sliced) thread CFA the engine
+// will analyse. Parallelism and observability options are deliberately
+// excluded — verdicts are identical at any parallelism. Option defaults
+// are not normalized (a Checker built with K=0 and one with the explicit
+// default K=1 key differently); that costs at most one redundant entry
+// per configuration spelling, never a wrong reuse.
+func storeCanon(g *cfa.CFA, variable string, o icirc.Options) []byte {
+	b := make([]byte, 0, 1024)
+	b = append(b, "circ-store-v1|var="...)
+	b = append(b, variable...)
+	b = append(b, "|k="...)
+	b = strconv.AppendInt(b, int64(o.K), 10)
+	b = append(b, "|omega="...)
+	b = strconv.AppendBool(b, o.Omega)
+	b = append(b, "|rounds="...)
+	b = strconv.AppendInt(b, int64(o.MaxRounds), 10)
+	b = append(b, "|inner="...)
+	b = strconv.AppendInt(b, int64(o.MaxInner), 10)
+	b = append(b, "|states="...)
+	b = strconv.AppendInt(b, int64(o.MaxStates), 10)
+	b = append(b, "|mine="...)
+	b = strconv.AppendInt(b, int64(o.MineStrategy), 10)
+	b = append(b, "|nomin="...)
+	b = strconv.AppendBool(b, o.NoMinimize)
+	b = append(b, "|maxraces="...)
+	b = strconv.AppendInt(b, int64(o.MaxRaces), 10)
+	for _, p := range o.InitialPreds {
+		b = append(b, "|seed="...)
+		b = append(b, p.Key()...)
+	}
+	b = append(b, "|cfa="...)
+	return g.AppendCanonical(b)
+}
+
+// storeEntry assembles the store entry for a freshly computed report.
+// Reports that carry no replayable evidence (they should not occur) are
+// dropped rather than stored.
+func storeEntry(canon []byte, rep *Report) *store.Entry {
+	if rep.Verdict == Safe && rep.FinalACFA == nil {
+		return nil
+	}
+	return &store.Entry{
+		Canon:   canon,
+		Verdict: storeVerdict(rep.Verdict),
+		ACFA:    rep.FinalACFA,
+		Preds:   rep.Preds,
+		K:       rep.K,
+		Rounds:  rep.Rounds,
+		Race:    rep.Race,
+		Witness: rep.Witness,
+		TF:      rep.TF,
+		Reason:  rep.Reason,
+	}
+}
+
+// checkUnit runs one (thread CFA, variable) unit end to end: static
+// triage, cone-of-influence slicing, then — when a certificate store is
+// attached — the incremental path (probe, re-validate, reuse) with a full
+// CIRC run as the fallback and store writer. It is the single analysis
+// path shared by Checker.Check and Checker.CheckAll.
+func (c *Checker) checkUnit(ctx context.Context, g *cfa.CFA, variable string, s *journal.Stream, o icirc.Options) (*Report, error) {
+	g, rep := c.prepareUnit(g, variable, s, o.Metrics)
+	if rep != nil {
+		return rep, nil
+	}
+	// The inference engine reads the journal stream from the context; the
+	// reuse path keeps it out of its re-validation runs (their internal
+	// events are not part of the case's canonical history) and emits its
+	// own events through s directly.
+	jctx := ctx
+	if s.Enabled() {
+		jctx = journal.NewContext(ctx, s)
+	}
+	if c.store == nil {
+		return icirc.Check(jctx, g, variable, o, c.solver)
+	}
+	canon := storeCanon(g, variable, o)
+	if ent, ok := c.store.Get(canon); ok {
+		o.Metrics.Counter("store.hit").Inc()
+		if rep, err := c.reuseEntry(ctx, g, variable, ent, s, o.Metrics); rep != nil || err != nil {
+			return rep, err
+		}
+		// Stored evidence no longer verified: fall through to a full run
+		// (which overwrites the entry).
+	} else {
+		o.Metrics.Counter("store.miss").Inc()
+	}
+	rep, err := icirc.Check(jctx, g, variable, o, c.solver)
+	if err == nil {
+		if ent := storeEntry(canon, rep); ent != nil {
+			c.store.Put(ent)
+			o.Metrics.Counter("store.write").Inc()
+		}
+	}
+	return rep, err
+}
+
+// reuseEntry re-establishes a stored verdict without running context
+// inference. It returns (nil, nil) when the stored evidence fails its
+// re-validation — the caller then runs the engine — and a non-nil error
+// only for infrastructure failures (e.g. context cancellation during
+// certificate re-verification).
+//
+// Soundness: the store key matched byte-for-byte, so g is structurally
+// identical to the CFA the evidence was computed for. Safe evidence is
+// nevertheless re-proved with Algorithm Check and Unsafe evidence
+// re-checked for satisfiability — the store is treated as untrusted
+// input, exactly like a certificate handed to VerifyCertificate.
+func (c *Checker) reuseEntry(ctx context.Context, g *cfa.CFA, variable string, ent *store.Entry, s *journal.Stream, reg *telemetry.Registry) (*Report, error) {
+	verdict := engineVerdict(ent.Verdict)
+	unit := telemetry.ChildOf(reg)
+	var outcome string
+	switch verdict {
+	case Safe:
+		err := icirc.VerifyCertificate(ctx, g, variable, ent.ACFA, ent.Preds, ent.K, c.solver)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			c.store.Revalidated(false)
+			reg.Counter("store.revalidation_failed").Inc()
+			return nil, nil
+		}
+		outcome = "certificate"
+	case Unsafe:
+		ids := make([]expr.ID, len(ent.TF))
+		for i, clause := range ent.TF {
+			ids[i] = expr.Intern(clause)
+		}
+		if c.solver.SatID(expr.IDConj(ids...)) != smt.Sat {
+			c.store.Revalidated(false)
+			reg.Counter("store.revalidation_failed").Inc()
+			return nil, nil
+		}
+		outcome = "witness"
+	default:
+		// Unknown: no independent evidence to re-check beyond the
+		// byte-identical input; the engine is deterministic, so the
+		// stored outcome is what a re-run would compute.
+		outcome = "replay"
+	}
+	c.store.Revalidated(true)
+	reg.Counter("store.reused").Inc()
+	unit.Counter("store.reused").Inc()
+	s.Emit(journal.Event{Type: journal.EvCertificateReused, Verdict: verdict.String(), Outcome: outcome})
+	// The verdict event is reconstructed from the stored evidence with
+	// exactly the fields the original inference run emitted, keeping warm
+	// and cold journals identical in verdict content.
+	s.Emit(journal.Event{
+		Type:     journal.EvVerdict,
+		Verdict:  verdict.String(),
+		Reason:   ent.Reason,
+		K:        ent.K,
+		NumPreds: len(ent.Preds),
+		Rounds:   ent.Rounds,
+	})
+	rep := &Report{
+		Verdict: verdict,
+		Reason:  ent.Reason,
+		Preds:   ent.Preds,
+		K:       ent.K,
+		Rounds:  ent.Rounds,
+		Race:    ent.Race,
+		Witness: ent.Witness,
+		TF:      ent.TF,
+		Metrics: unit.Snapshot(),
+	}
+	if verdict == Safe {
+		rep.FinalACFA = ent.ACFA
+	}
+	rep.LastACFA = ent.ACFA
+	return rep, nil
+}

@@ -1,0 +1,267 @@
+package circ
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"circ/internal/journal"
+)
+
+// collectVerdicts extracts per-case verdict events with sequence numbers
+// normalized away — the verdict content is what must match between a cold
+// and a warm run, not its position in the case history.
+func collectVerdicts(t *testing.T, j *Journal) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, e := range j.Events() {
+		if e.Type != journal.EvVerdict {
+			continue
+		}
+		e.Seq = 0
+		c := e.Case
+		e.Case = ""
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal verdict event: %v", err)
+		}
+		out[c] = string(data)
+	}
+	return out
+}
+
+func countEvents(j *Journal, typ string) int {
+	n := 0
+	for _, e := range j.Events() {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCertStoreColdWarm: a second submission of an unchanged program
+// through a shared certificate store performs zero CIRC iterations — every
+// non-triaged verdict is re-established from stored evidence — and its
+// verdict journal events are identical in content to the cold run's.
+func TestCertStoreColdWarm(t *testing.T) {
+	const src = `
+global int x;
+global int state;
+global int y;
+
+thread Worker {
+  local int old;
+  while (1) {
+    y = y + 1;
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+	st := NewCertStore()
+	ctx := context.Background()
+
+	cold := NewJournal()
+	chkCold := NewChecker(WithCertStore(st), WithJournal(cold), WithParallelism(1))
+	repCold, err := CheckAllRacesProgramless(t, ctx, chkCold, src)
+	if err != nil {
+		t.Fatalf("cold batch: %v", err)
+	}
+	if n := countEvents(cold, journal.EvCertificateReused); n != 0 {
+		t.Fatalf("cold run reused %d certificates; want 0", n)
+	}
+	if st.Len() == 0 {
+		t.Fatalf("cold run stored no entries")
+	}
+	coldIters := chkCold.Metrics().Snapshot().Counter("circ.iterations")
+	if coldIters == 0 {
+		t.Fatalf("cold run reported zero CIRC iterations")
+	}
+
+	// Warm: a fresh checker (fresh journal, fresh metrics) sharing only
+	// the store — the daemon's per-request shape.
+	warm := NewJournal()
+	chkWarm := NewChecker(WithCertStore(st), WithJournal(warm), WithParallelism(1))
+	repWarm, err := CheckAllRacesProgramless(t, ctx, chkWarm, src)
+	if err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+
+	// Zero inference: no iteration ever started, every non-triaged case
+	// came from the store.
+	if n := chkWarm.Metrics().Snapshot().Counter("circ.iterations"); n != 0 {
+		t.Fatalf("warm run performed %d CIRC iterations; want 0", n)
+	}
+	if n := countEvents(warm, journal.EvIterationStart); n != 0 {
+		t.Fatalf("warm journal has %d iteration_start events; want 0", n)
+	}
+	nonTriaged := 0
+	for i, r := range repCold.Results {
+		if r.Err != nil {
+			t.Fatalf("cold %s: %v", r.Target, r.Err)
+		}
+		if r.Report.Triage == "" {
+			nonTriaged++
+		}
+		w := repWarm.Results[i]
+		if w.Err != nil {
+			t.Fatalf("warm %s: %v", w.Target, w.Err)
+		}
+		if r.Report.Verdict != w.Report.Verdict {
+			t.Fatalf("%s: verdict drifted cold %v -> warm %v", r.Target, r.Report.Verdict, w.Report.Verdict)
+		}
+		if r.Report.K != w.Report.K || len(r.Report.Preds) != len(w.Report.Preds) || r.Report.Rounds != w.Report.Rounds {
+			t.Fatalf("%s: evidence drifted: cold (k=%d,%d preds,%d rounds) warm (k=%d,%d preds,%d rounds)",
+				r.Target, r.Report.K, len(r.Report.Preds), r.Report.Rounds,
+				w.Report.K, len(w.Report.Preds), w.Report.Rounds)
+		}
+	}
+	if nonTriaged == 0 {
+		t.Fatalf("test program has no non-triaged targets; store path unexercised")
+	}
+	if n := countEvents(warm, journal.EvCertificateReused); n != nonTriaged {
+		t.Fatalf("warm run reused %d certificates; want %d", n, nonTriaged)
+	}
+
+	// Verdict events byte-identical in content.
+	cv, wv := collectVerdicts(t, cold), collectVerdicts(t, warm)
+	if len(cv) != len(wv) {
+		t.Fatalf("verdict case sets differ: cold %d, warm %d", len(cv), len(wv))
+	}
+	for c, e := range cv {
+		if wv[c] != e {
+			t.Fatalf("case %s: verdict event drifted:\ncold %s\nwarm %s", c, e, wv[c])
+		}
+	}
+
+	stats := st.Stats()
+	if stats.Hits != int64(nonTriaged) || stats.RevalidationFailures != 0 {
+		t.Fatalf("store stats = %+v; want %d hits, 0 revalidation failures", stats, nonTriaged)
+	}
+}
+
+// CheckAllRacesProgramless is a test helper running a pre-built checker
+// over every (thread, global) pair of src.
+func CheckAllRacesProgramless(t *testing.T, ctx context.Context, chk *Checker, src string) (*BatchReport, error) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return chk.CheckAll(ctx, p)
+}
+
+// TestCertStoreInvalidatedByChange: editing inside the cone of influence
+// misses the store; editing outside it (after slicing) still hits.
+func TestCertStoreInvalidatedByChange(t *testing.T) {
+	base := `
+global int x;
+global int state;
+global int noise;
+
+thread Worker {
+  local int old;
+  while (1) {
+    noise = noise + 1;
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+	// Same cone of influence for x; only the irrelevant noise traffic
+	// changes.
+	outsideCone := `
+global int x;
+global int state;
+global int noise;
+
+thread Worker {
+  local int old;
+  while (1) {
+    noise = noise + 7;
+    noise = noise - 3;
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+`
+	// The write to x itself changes: the sliced cone differs.
+	insideCone := `
+global int x;
+global int state;
+global int noise;
+
+thread Worker {
+  local int old;
+  while (1) {
+    noise = noise + 1;
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 2;
+      state = 0;
+    }
+  }
+}
+`
+	ctx := context.Background()
+	st := NewCertStore()
+	check := func(src string) *Report {
+		t.Helper()
+		chk := NewChecker(WithCertStore(st), WithParallelism(1))
+		rep, err := chk.Check(ctx, MustParse(t, src), "", "x")
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		return rep
+	}
+
+	check(base)
+	after := st.Stats()
+	if after.Writes != 1 {
+		t.Fatalf("cold run wrote %d entries; want 1", after.Writes)
+	}
+
+	check(outsideCone)
+	s2 := st.Stats()
+	if s2.Hits != after.Hits+1 {
+		t.Fatalf("edit outside the cone missed the store: %+v -> %+v", after, s2)
+	}
+
+	check(insideCone)
+	s3 := st.Stats()
+	if s3.Misses != s2.Misses+1 || s3.Writes != s2.Writes+1 {
+		t.Fatalf("edit inside the cone should miss and re-store: %+v -> %+v", s2, s3)
+	}
+}
+
+// MustParse parses src or fails the test.
+func MustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
