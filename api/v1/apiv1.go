@@ -5,13 +5,16 @@
 // data — no behaviour, no dependency on the checker's internal types —
 // so clients in any language can be generated from this file alone.
 //
-// Endpoints (all rooted at /v1):
+// Endpoints (all rooted at the server):
 //
 //	POST /v1/check            CheckRequest  -> SubmitResponse (202)
+//	GET  /v1/jobs             -> JobList (completed-job ring; ?state=, ?limit=, ?offset=)
 //	GET  /v1/jobs/{id}        -> Job
 //	GET  /v1/jobs/{id}/events -> text/event-stream of journal events
 //	GET  /v1/jobs/{id}/report -> text/html flight-recorder report
 //	GET  /v1/stats            -> Stats
+//	GET  /metrics             -> Prometheus text exposition (format 0.0.4)
+//	GET  /debug/circ/ops      -> text/html ops dashboard
 //
 // Errors are returned as an Error body with a matching HTTP status.
 package apiv1
@@ -132,12 +135,63 @@ type TargetResult struct {
 	Error string `json:"error,omitempty"`
 }
 
+// JobSummary is the compact flight-data record of one completed job,
+// retained in the daemon's bounded completed-job ring and listed by
+// GET /v1/jobs.
+type JobSummary struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "done", "failed", or "cancelled"
+	// Error is set for failed/cancelled jobs.
+	Error          string    `json:"error,omitempty"`
+	SubmittedAt    time.Time `json:"submitted_at"`
+	FinishedAt     time.Time `json:"finished_at"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	// SMTSolveSeconds is the cumulative wall time the job spent inside
+	// the SMT solver (sum over all solver calls; concurrent calls add).
+	SMTSolveSeconds float64 `json:"smt_solve_seconds"`
+	// Targets counts the job's analysis units; Safe/Unsafe/Unknown/Errors
+	// split them by verdict.
+	Targets int `json:"targets"`
+	Safe    int `json:"safe"`
+	Unsafe  int `json:"unsafe"`
+	Unknown int `json:"unknown"`
+	Errors  int `json:"errors"`
+	// CertificatesReused counts targets whose verdict was re-established
+	// from the certificate store instead of re-running inference.
+	CertificatesReused int `json:"certificates_reused"`
+	// JournalEvents is the number of flight-recorder events the job
+	// produced.
+	JournalEvents int `json:"journal_events"`
+	// CIRCIterations is the number of CIRC refinement iterations the job
+	// ran across all targets. A warm job re-established entirely from
+	// stored certificates reports 0.
+	CIRCIterations int `json:"circ_iterations"`
+	// Summary is the human-readable batch summary.
+	Summary string `json:"summary,omitempty"`
+	// StoreBytes/ArenaBytes sample the daemon's certificate-store and
+	// expression-arena footprints at job completion — the data points
+	// behind the ops dashboard's watermark trend.
+	StoreBytes int64 `json:"store_bytes"`
+	ArenaBytes int64 `json:"arena_bytes"`
+}
+
+// JobList answers GET /v1/jobs: a page of the completed-job ring, newest
+// first. Total counts the ring's current entries after the state filter;
+// Evicted counts completed jobs that have already aged out of the ring.
+type JobList struct {
+	Jobs    []JobSummary `json:"jobs"`
+	Total   int          `json:"total"`
+	Offset  int          `json:"offset"`
+	Evicted int64        `json:"evicted"`
+}
+
 // Stats is the daemon-wide /v1/stats snapshot.
 type Stats struct {
-	Jobs  JobStats   `json:"jobs"`
-	Arena ArenaStats `json:"arena"`
-	SMT   SMTStats   `json:"smt"`
-	Store StoreStats `json:"store"`
+	Jobs     JobStats      `json:"jobs"`
+	Arena    ArenaStats    `json:"arena"`
+	SMT      SMTStats      `json:"smt"`
+	Store    StoreStats    `json:"store"`
+	Lifetime LifetimeStats `json:"lifetime"`
 }
 
 // JobStats counts submissions by outcome. Active is the number of jobs
@@ -150,10 +204,17 @@ type JobStats struct {
 	Active    int64 `json:"active"`
 }
 
-// ArenaStats describes the shared hash-consing arena.
+// ArenaStats describes the shared hash-consing arena. The arena is
+// append-only, so the high-water marks equal the live values; they are
+// reported separately to keep the watermark contract uniform with the
+// store.
 type ArenaStats struct {
 	// Nodes is the number of distinct interned expression nodes.
 	Nodes int64 `json:"nodes"`
+	// Bytes estimates the arena's resident footprint.
+	Bytes          int64 `json:"bytes"`
+	NodesHighWater int64 `json:"nodes_high_water"`
+	BytesHighWater int64 `json:"bytes_high_water"`
 }
 
 // SMTStats describes the shared SMT verdict cache.
@@ -164,7 +225,8 @@ type SMTStats struct {
 	HitRate  float64 `json:"hit_rate"`
 }
 
-// StoreStats describes the certificate store.
+// StoreStats describes the certificate store, including its LRU bound
+// and growth watermarks.
 type StoreStats struct {
 	Entries              int     `json:"entries"`
 	Hits                 int64   `json:"hits"`
@@ -173,6 +235,40 @@ type StoreStats struct {
 	Revalidations        int64   `json:"revalidations"`
 	RevalidationFailures int64   `json:"revalidation_failures"`
 	HitRatio             float64 `json:"hit_ratio"`
+	// Evictions counts entries dropped by the LRU cap; MaxEntries is the
+	// cap itself (0 = unbounded).
+	Evictions  int64 `json:"evictions"`
+	MaxEntries int   `json:"max_entries"`
+	// Bytes estimates the resident evidence footprint; the high-water
+	// fields are the largest values ever observed.
+	Bytes            int64 `json:"bytes"`
+	BytesHighWater   int64 `json:"bytes_high_water"`
+	EntriesHighWater int64 `json:"entries_high_water"`
+}
+
+// LifetimeStats aggregates the completed-job flight data over the
+// daemon's lifetime (counters survive ring eviction).
+type LifetimeStats struct {
+	// Targets counts analysis units across all completed jobs;
+	// CertificatesReused of them were re-established from the store.
+	Targets            int64 `json:"targets"`
+	CertificatesReused int64 `json:"certificates_reused"`
+	// ReuseHitRate is CertificatesReused / Targets, in [0, 1].
+	ReuseHitRate float64 `json:"reuse_hit_rate"`
+	// Verdicts counts targets by verdict class ("safe", "unsafe",
+	// "unknown", "error").
+	Verdicts map[string]int64 `json:"verdicts,omitempty"`
+	// CheckLatency describes the distribution of per-job wall times.
+	CheckLatency LatencyQuantiles `json:"check_latency"`
+}
+
+// LatencyQuantiles summarises a latency distribution estimated from the
+// daemon's 1-2-5 bucket histogram.
+type LatencyQuantiles struct {
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // Error is the JSON error body accompanying every non-2xx response.

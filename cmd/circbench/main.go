@@ -442,11 +442,18 @@ type benchRow struct {
 	SeqMillis     float64           `json:"seq_ms"`
 	ParMillis     float64           `json:"par_ms"`
 	Speedup       float64           `json:"speedup"`
-	SMTQueries    int64             `json:"smt_queries"`
-	CacheHits     int64             `json:"cache_hits"`
-	CacheMisses   int64             `json:"cache_misses"`
-	FastPath      int64             `json:"fastpath"`
-	HitRate       float64           `json:"hit_rate"`
+	// Warm-leg measurements: the case checked twice through one checker
+	// with a certificate store. WarmMillis is the second (warm) batch's
+	// wall time, CertsReused the number of its targets re-established
+	// from certificates, and ReuseHitRate CertsReused / Targets.
+	WarmMillis   float64 `json:"warm_ms"`
+	CertsReused  int     `json:"certs_reused"`
+	ReuseHitRate float64 `json:"reuse_hit_rate"`
+	SMTQueries   int64   `json:"smt_queries"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	FastPath     int64   `json:"fastpath"`
+	HitRate      float64 `json:"hit_rate"`
 	// Allocation intensity of the parallel run, from runtime.MemStats
 	// deltas over all SMT queries issued (hits + misses + fast path).
 	AllocsPerQuery float64 `json:"allocs_per_query"`
@@ -465,10 +472,40 @@ type benchReport struct {
 	TotalSeqMs  float64    `json:"total_seq_ms"`
 	TotalParMs  float64    `json:"total_par_ms"`
 	Speedup     float64    `json:"speedup"`
+	// ReuseHitRate aggregates the warm legs: certificates reused over
+	// all warm targets.
+	ReuseHitRate float64 `json:"reuse_hit_rate"`
+	// PhaseLatency summarises the engine's duration histograms (merged
+	// over every parallel run) as millisecond quantiles, keyed by
+	// histogram name ("smt.solve", "bisim.collapse", ...).
+	PhaseLatency map[string]quantilesMs `json:"phase_latency_ms"`
 	// Metrics is the merged telemetry snapshot of every parallel run:
 	// engine counters (reach.*, bisim.*, refine.*, smt.*) summed across
 	// benchmark cases.
 	Metrics telemetry.Metrics `json:"metrics"`
+}
+
+// quantilesMs renders one histogram's latency quantiles in milliseconds.
+type quantilesMs struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// phaseLatencies derives the per-phase quantile summary from a merged
+// metrics snapshot.
+func phaseLatencies(m telemetry.Metrics) map[string]quantilesMs {
+	out := make(map[string]quantilesMs, len(m.Histograms))
+	for name, hs := range m.Histograms {
+		out[name] = quantilesMs{
+			Count: hs.Count,
+			P50:   float64(hs.Quantile(0.50).Microseconds()) / 1000,
+			P95:   float64(hs.Quantile(0.95).Microseconds()) / 1000,
+			P99:   float64(hs.Quantile(0.99).Microseconds()) / 1000,
+		}
+	}
+	return out
 }
 
 func benchCases() []benchCase {
@@ -510,6 +547,34 @@ func runOnce(src string, par int) (*circ.BatchReport, error) {
 		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
 }
 
+// runWarm measures incremental re-checking: the same program is checked
+// twice through one checker holding a certificate store, so the second
+// (warm) batch re-establishes verdicts from certificates. Returns the
+// warm batch and how many of its targets were served from the store.
+func runWarm(src string, par int) (warm *circ.BatchReport, reused int, err error) {
+	chk := circ.NewChecker(
+		circ.WithCertStore(circ.NewCertStore()),
+		circ.WithParallelism(par), circ.WithTracer(tracer),
+		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
+	prog, err := circ.Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := chk.CheckTargets(context.Background(), prog, nil); err != nil {
+		return nil, 0, err
+	}
+	warm, err = chk.CheckTargets(context.Background(), prog, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, r := range warm.Results {
+		if r.Report != nil && r.Report.Metrics.Counter("store.reused") > 0 {
+			reused++
+		}
+	}
+	return warm, reused, nil
+}
+
 func runBench() {
 	par := parallelism()
 	// The parallel legs need real OS-level parallelism to mean anything;
@@ -519,7 +584,7 @@ func runBench() {
 		runtime.GOMAXPROCS(par)
 	}
 	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
-	fmt.Printf("%-28s %7s %6s %9s %9s %8s %9s %11s\n", "benchmark", "targets", "disch", "seq", "par", "speedup", "hit-rate", "allocs/q")
+	fmt.Printf("%-28s %7s %6s %9s %9s %9s %8s %7s %9s %11s\n", "benchmark", "targets", "disch", "seq", "par", "warm", "speedup", "reuse", "hit-rate", "allocs/q")
 	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
 	// Each runOnce uses a fresh checker (and so a fresh registry); merge
 	// the per-run snapshots into a bench-level child of the process
@@ -539,6 +604,11 @@ func runBench() {
 			os.Exit(1)
 		}
 		runtime.ReadMemStats(&msAfter)
+		warmRep, reused, err := runWarm(bc.Source, par)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(warm):", err)
+			os.Exit(1)
+		}
 		row := benchRow{
 			Name:          bc.Name,
 			Targets:       len(parRep.Results),
@@ -546,6 +616,8 @@ func runBench() {
 			VerdictsAgree: true,
 			SeqMillis:     float64(seq.Elapsed.Microseconds()) / 1000,
 			ParMillis:     float64(parRep.Elapsed.Microseconds()) / 1000,
+			WarmMillis:    float64(warmRep.Elapsed.Microseconds()) / 1000,
+			CertsReused:   reused,
 			SMTQueries:    parRep.SMT.Solver.Queries,
 			CacheHits:     parRep.SMT.Hits,
 			CacheMisses:   parRep.SMT.Misses,
@@ -576,6 +648,9 @@ func runBench() {
 		if row.ParMillis > 0 {
 			row.Speedup = row.SeqMillis / row.ParMillis
 		}
+		if row.Targets > 0 {
+			row.ReuseHitRate = float64(row.CertsReused) / float64(row.Targets)
+		}
 		breg.Merge(parRep.Metrics)
 		report.Rows = append(report.Rows, row)
 		report.TotalSeqMs += row.SeqMillis
@@ -584,14 +659,32 @@ func runBench() {
 		if !row.VerdictsAgree {
 			agree = "  VERDICT MISMATCH"
 		}
-		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %7.2fx %8.1f%% %11.0f%s\n",
-			bc.Name, row.Targets, row.TriageDischarged, row.SeqMillis, row.ParMillis, row.Speedup, 100*row.HitRate, row.AllocsPerQuery, agree)
+		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %8.0fms %7.2fx %6.0f%% %8.1f%% %11.0f%s\n",
+			bc.Name, row.Targets, row.TriageDischarged, row.SeqMillis, row.ParMillis, row.WarmMillis,
+			row.Speedup, 100*row.ReuseHitRate, 100*row.HitRate, row.AllocsPerQuery, agree)
 	}
 	if report.TotalParMs > 0 {
 		report.Speedup = report.TotalSeqMs / report.TotalParMs
 	}
+	var targets, reused int
+	for _, row := range report.Rows {
+		targets += row.Targets
+		reused += row.CertsReused
+	}
+	if targets > 0 {
+		report.ReuseHitRate = float64(reused) / float64(targets)
+	}
 	report.Metrics = breg.Snapshot()
-	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %7.2fx\n", "TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, report.Speedup)
+	report.PhaseLatency = phaseLatencies(report.Metrics)
+	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %9s %7.2fx %6.0f%%\n",
+		"TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, "", report.Speedup, 100*report.ReuseHitRate)
+	// A bench file without the effective GOMAXPROCS is uninterpretable —
+	// the parallel columns can't be compared across machines. Refuse to
+	// write one (this can only happen if the raise above is bypassed).
+	if report.GOMAXPROCS <= 0 {
+		fmt.Fprintln(os.Stderr, "circbench: refusing to write bench file: effective GOMAXPROCS not recorded")
+		os.Exit(1)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)

@@ -4,17 +4,23 @@
 // Usage:
 //
 //	circd [-addr :8723] [-jobs N] [-parallel N] [-job-timeout 5m]
-//	      [-drain-timeout 30s] [-k N] [-omega] [-triage on|off] [-slice on|off]
+//	      [-drain-timeout 30s] [-store-max-entries N] [-k N] [-omega]
+//	      [-triage on|off] [-slice on|off]
 //
 // One process holds the hash-consing arena, the shared SMT verdict
 // cache, and the content-addressed certificate store across requests, so
 // re-submitting an unchanged program re-establishes every verdict from
 // stored certificates instead of re-running context inference.
+// -store-max-entries bounds the certificate store with LRU eviction
+// (0, the default, keeps it unbounded).
 //
 //	curl -s localhost:8723/v1/check -d '{"program": "..."}'   # 202 + job id
 //	curl -s localhost:8723/v1/jobs/j000001                    # poll
+//	curl -s localhost:8723/v1/jobs                            # completed-job ring
 //	curl -s localhost:8723/v1/jobs/j000001/events             # live SSE journal
 //	curl -s localhost:8723/v1/stats                           # cache telemetry
+//	curl -s localhost:8723/metrics                            # Prometheus exposition
+//	curl -s localhost:8723/debug/circ/ops                     # HTML ops dashboard
 //
 // On SIGINT/SIGTERM the daemon drains: new submissions are rejected with
 // 503 while in-flight and queued jobs run to completion (bounded by
@@ -75,6 +81,7 @@ func run(args []string) int {
 		parallel     = fs.Int("parallel", 0, "default per-job analysis worker pool size (0: GOMAXPROCS)")
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job wall-clock budget")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		storeMax     = fs.Int("store-max-entries", 0, "certificate store LRU bound (0: unbounded)")
 		k            = fs.Int("k", 1, "default initial counter parameter")
 		omega        = fs.Bool("omega", false, "default to the omega-CIRC variant")
 		quiet        = fs.Bool("quiet", false, "suppress request and job logs")
@@ -99,7 +106,7 @@ func run(args []string) int {
 		logger = nil
 	}
 	chk := circ.NewChecker(
-		circ.WithCertStore(circ.NewCertStore()),
+		circ.WithCertStore(circ.NewCertStoreLRU(*storeMax)),
 		circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel),
 		circ.WithTriage(bool(triage)), circ.WithSlicing(bool(slice)),
 	)

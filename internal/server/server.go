@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"circ/internal/expr"
 	"circ/internal/journal"
 	"circ/internal/refine"
+	"circ/internal/telemetry"
 )
 
 // Config tunes a daemon instance. The zero value is usable: a default
@@ -55,6 +57,9 @@ type Config struct {
 	// MaxJobs bounds the number of finished jobs retained for polling;
 	// the oldest finished jobs are evicted beyond it. Zero means 256.
 	MaxJobs int
+	// JobRing bounds the completed-job flight-data ring served by
+	// GET /v1/jobs and the ops dashboard. Zero means 64.
+	JobRing int
 	// Logger receives request and job lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -62,18 +67,22 @@ type Config struct {
 // Server is the daemon: an http.Handler serving the /v1 API plus the job
 // scheduler behind it.
 type Server struct {
-	base   *circ.Checker
-	cfg    Config
-	mux    *http.ServeMux
-	log    *slog.Logger
-	sem    chan struct{}
-	wg     sync.WaitGroup
-	drain  atomic.Bool
-	nextID atomic.Int64
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // insertion order, for eviction
-	nJobs  [4]atomic.Int64
+	base      *circ.Checker
+	cfg       Config
+	mux       *http.ServeMux
+	log       *slog.Logger
+	reg       *telemetry.Registry
+	ring      *jobRing
+	start     time.Time
+	sem       chan struct{}
+	wg        sync.WaitGroup
+	drain     atomic.Bool
+	flushOnce sync.Once
+	nextID    atomic.Int64
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // insertion order, for eviction
+	nJobs     [4]atomic.Int64
 }
 
 // job-outcome counters in Server.nJobs.
@@ -117,24 +126,47 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 256
 	}
+	if cfg.JobRing <= 0 {
+		cfg.JobRing = 64
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(discardHandler{})
 	}
-	s := &Server{
-		base: cfg.Checker,
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		log:  log,
-		sem:  make(chan struct{}, cfg.MaxConcurrent),
-		jobs: make(map[string]*job),
+	reg := cfg.Checker.Metrics()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
-	s.mux.HandleFunc("POST /v1/check", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s := &Server{
+		base:  cfg.Checker,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		log:   log,
+		reg:   reg,
+		ring:  newJobRing(cfg.JobRing),
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		jobs:  make(map[string]*job),
+	}
+	s.handle("POST /v1/check", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleJobs)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.handle("GET /v1/jobs/{id}/report", s.handleReport)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /debug/circ/ops", s.handleOps)
 	return s
+}
+
+// handle mounts h under the mux pattern "METHOD /path", instrumented
+// with the pattern's path as the metrics endpoint label.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	endpoint := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		endpoint = pattern[i+1:]
+	}
+	s.mux.HandleFunc(pattern, s.instrument(endpoint, h))
 }
 
 // ServeHTTP makes the Server mountable anywhere an http.Handler goes.
@@ -155,8 +187,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(doneCh) }()
 	select {
 	case <-doneCh:
+		// Every job is accounted for: leave the daemon's final observed
+		// state in the log before the process goes away.
+		s.flushFinalMetrics()
 		return nil
 	case <-ctx.Done():
+		s.flushFinalMetrics()
 		return ctx.Err()
 	}
 }
@@ -283,11 +319,11 @@ func (s *Server) run(j *job, chk *circ.Checker, targets []circ.Target, timeout t
 	s.complete(j, batch, err)
 }
 
-// complete records a job's outcome.
+// complete records a job's outcome: the polled job state, the ring's
+// flight-data record, and the daemon's lifetime aggregates.
 func (s *Server) complete(j *job, batch *circ.BatchReport, err error) {
 	now := time.Now()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.done = &now
 	switch {
 	case err == nil:
@@ -308,7 +344,31 @@ func (s *Server) complete(j *job, batch *circ.BatchReport, err error) {
 		j.results = resultsOf(j.prog, batch)
 		j.summary = batch.Summary()
 	}
-	s.log.Info("job finished", "job", j.id, "state", j.state)
+	rec := summarizeJob(j)
+	state, elapsed := j.state, j.elapsed
+	j.mu.Unlock()
+
+	// Sample the daemon's growth watermarks at completion: the ring's
+	// records form the trend the ops dashboard renders.
+	if cs := s.base.CertStore(); cs != nil {
+		rec.StoreBytes = cs.Stats().Bytes
+	}
+	rec.ArenaBytes = expr.Stats().Bytes
+	s.ring.add(rec)
+
+	// Lifetime aggregates: per-job latency distribution, verdicts by
+	// class, and certificate reuse. These survive ring eviction.
+	s.reg.Histogram("jobs.latency").Observe(elapsed)
+	for class, n := range map[string]int{
+		"safe": rec.Safe, "unsafe": rec.Unsafe,
+		"unknown": rec.Unknown, "error": rec.Errors,
+	} {
+		if n > 0 {
+			s.reg.Counter(`jobs.targets{class="` + class + `"}`).Add(int64(n))
+		}
+	}
+	s.reg.Counter("jobs.certs_reused").Add(int64(rec.CertificatesReused))
+	s.log.Info("job finished", "job", j.id, "state", state)
 }
 
 // resolveTargets validates the request's target list against the parsed
@@ -574,6 +634,7 @@ func summaryOf(counts map[string]int) string {
 // handleStats answers the daemon-wide cache and job telemetry.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	smtStats := s.base.SMTStats()
+	as := expr.Stats()
 	st := apiv1.Stats{
 		Jobs: apiv1.JobStats{
 			Submitted: s.nJobs[cSubmitted].Load(),
@@ -581,13 +642,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failed:    s.nJobs[cFailed].Load(),
 			Cancelled: s.nJobs[cCancelled].Load(),
 		},
-		Arena: apiv1.ArenaStats{Nodes: int64(expr.InternStats())},
+		Arena: apiv1.ArenaStats{
+			Nodes:          int64(as.Nodes),
+			Bytes:          as.Bytes,
+			NodesHighWater: int64(as.NodesHighWater),
+			BytesHighWater: as.BytesHighWater,
+		},
 		SMT: apiv1.SMTStats{
 			Hits:     smtStats.Hits,
 			Misses:   smtStats.Misses,
 			FastPath: smtStats.FastPath,
 			HitRate:  smtStats.HitRate(),
 		},
+		Lifetime: s.lifetimeStats(),
 	}
 	st.Jobs.Active = st.Jobs.Submitted - st.Jobs.Done - st.Jobs.Failed - st.Jobs.Cancelled
 	if cs := s.base.CertStore(); cs != nil {
@@ -600,9 +667,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Revalidations:        ss.Revalidations,
 			RevalidationFailures: ss.RevalidationFailures,
 			HitRatio:             ss.HitRatio(),
+			Evictions:            ss.Evictions,
+			MaxEntries:           ss.MaxEntries,
+			Bytes:                ss.Bytes,
+			BytesHighWater:       ss.BytesHighWater,
+			EntriesHighWater:     ss.EntriesHighWater,
 		}
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// lifetimeStats derives the service-lifetime aggregates from the
+// registry's completed-job instruments.
+func (s *Server) lifetimeStats() apiv1.LifetimeStats {
+	ls := apiv1.LifetimeStats{Verdicts: make(map[string]int64)}
+	for _, class := range []string{"safe", "unsafe", "unknown", "error"} {
+		n := s.reg.Counter(`jobs.targets{class="` + class + `"}`).Value()
+		ls.Verdicts[class] = n
+		ls.Targets += n
+	}
+	ls.CertificatesReused = s.reg.Counter("jobs.certs_reused").Value()
+	if ls.Targets > 0 {
+		ls.ReuseHitRate = float64(ls.CertificatesReused) / float64(ls.Targets)
+	}
+	hs := s.reg.Snapshot().Histograms["jobs.latency"]
+	ls.CheckLatency = apiv1.LatencyQuantiles{
+		Count:      hs.Count,
+		P50Seconds: hs.Quantile(0.50).Seconds(),
+		P95Seconds: hs.Quantile(0.95).Seconds(),
+		P99Seconds: hs.Quantile(0.99).Seconds(),
+	}
+	return ls
 }
 
 // discardHandler is a no-op slog handler for Logger-less configs.

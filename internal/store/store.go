@@ -18,6 +18,7 @@
 package store
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
@@ -79,14 +80,22 @@ type Entry struct {
 // Stats counts store traffic. Hits/Misses split lookup outcomes;
 // Revalidations counts hits whose evidence was re-established,
 // RevalidationFailures hits whose stored evidence no longer verified
-// (these fall back to a full run and overwrite the entry).
+// (these fall back to a full run and overwrite the entry). Evictions
+// counts entries dropped by the LRU cap; Bytes estimates the resident
+// evidence footprint, with BytesHighWater / EntriesHighWater the largest
+// values observed — the daemon's growth watermarks.
 type Stats struct {
 	Hits                 int64
 	Misses               int64
 	Writes               int64
 	Revalidations        int64
 	RevalidationFailures int64
+	Evictions            int64
 	Entries              int
+	MaxEntries           int
+	Bytes                int64
+	BytesHighWater       int64
+	EntriesHighWater     int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -105,22 +114,51 @@ type shard struct {
 }
 
 // Store is a sharded, concurrency-safe, content-addressed map from keys
-// to verdict evidence. The zero value is not usable; call New.
+// to verdict evidence. The zero value is not usable; call New or NewLRU.
+//
+// A capped store (NewLRU with maxEntries > 0) additionally keeps a
+// single global recency list so eviction is true LRU across shards, not
+// per-shard approximate. The list has its own mutex and is never held
+// together with a shard lock: Get/Put touch the shard first, then the
+// list, and evictions delete from shards after the list decision is
+// made. A concurrent Get can therefore briefly hit an entry the evictor
+// is about to drop — harmless, since entries are immutable and the next
+// lookup simply misses.
 type Store struct {
-	shards [numShards]shard
+	shards     [numShards]shard
+	maxEntries int // 0 = unbounded
+
+	lruMu sync.Mutex
+	lru   *list.List            // front = most recently used; values are Key
+	elems map[Key]*list.Element // only for capped stores
 
 	hits          atomic.Int64
 	misses        atomic.Int64
 	writes        atomic.Int64
 	revalidations atomic.Int64
 	revalFailures atomic.Int64
+	evictions     atomic.Int64
+	bytes         atomic.Int64
+	count         atomic.Int64
+	bytesHW       atomic.Int64
+	countHW       atomic.Int64
 }
 
-// New returns an empty store.
-func New() *Store {
+// New returns an empty, unbounded store.
+func New() *Store { return NewLRU(0) }
+
+// NewLRU returns an empty store holding at most maxEntries entries,
+// evicting the least recently used entry on overflow. maxEntries <= 0
+// means unbounded (identical to New).
+func NewLRU(maxEntries int) *Store {
 	s := &Store{}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[Key]*Entry)
+	}
+	if maxEntries > 0 {
+		s.maxEntries = maxEntries
+		s.lru = list.New()
+		s.elems = make(map[Key]*list.Element)
 	}
 	return s
 }
@@ -144,11 +182,26 @@ func (s *Store) Get(canon []byte) (*Entry, bool) {
 		return nil, false
 	}
 	s.hits.Add(1)
+	s.touch(k)
 	return e, true
+}
+
+// touch marks k most recently used on capped stores.
+func (s *Store) touch(k Key) {
+	if s.maxEntries == 0 {
+		return
+	}
+	s.lruMu.Lock()
+	if el, ok := s.elems[k]; ok {
+		s.lru.MoveToFront(el)
+	}
+	s.lruMu.Unlock()
 }
 
 // Put stores e under the hash of its canonical serialization,
 // overwriting any previous entry (e.g. after a failed revalidation).
+// On a capped store, the least recently used entries are evicted until
+// the store fits its bound again.
 func (s *Store) Put(e *Entry) {
 	if s == nil || e == nil || len(e.Canon) == 0 {
 		return
@@ -156,9 +209,77 @@ func (s *Store) Put(e *Entry) {
 	k := KeyOf(e.Canon)
 	sh := s.shard(k)
 	sh.mu.Lock()
+	if old, ok := sh.entries[k]; ok {
+		s.bytes.Add(-entrySize(old))
+		s.count.Add(-1)
+	}
 	sh.entries[k] = e
 	sh.mu.Unlock()
+	s.bytes.Add(entrySize(e))
+	s.count.Add(1)
 	s.writes.Add(1)
+	highWater(&s.bytesHW, s.bytes.Load())
+	highWater(&s.countHW, s.count.Load())
+
+	if s.maxEntries == 0 {
+		return
+	}
+	var victims []Key
+	s.lruMu.Lock()
+	if el, ok := s.elems[k]; ok {
+		s.lru.MoveToFront(el)
+	} else {
+		s.elems[k] = s.lru.PushFront(k)
+	}
+	for s.lru.Len() > s.maxEntries {
+		back := s.lru.Back()
+		vk := back.Value.(Key)
+		s.lru.Remove(back)
+		delete(s.elems, vk)
+		victims = append(victims, vk)
+	}
+	s.lruMu.Unlock()
+	for _, vk := range victims {
+		vsh := s.shard(vk)
+		vsh.mu.Lock()
+		if victim, ok := vsh.entries[vk]; ok {
+			delete(vsh.entries, vk)
+			s.bytes.Add(-entrySize(victim))
+			s.count.Add(-1)
+			s.evictions.Add(1)
+		}
+		vsh.mu.Unlock()
+	}
+}
+
+// entrySize estimates an entry's resident footprint: the retained
+// canonical serialization dominates, plus fixed overheads for the
+// evidence structures (interned expressions are shared process-wide, so
+// only the slice headers and per-element pointers are charged here).
+func entrySize(e *Entry) int64 {
+	const fixed = 256
+	sz := int64(fixed + len(e.Canon) + len(e.Reason))
+	sz += int64(len(e.Preds)+len(e.TF)) * 16
+	for key := range e.Witness {
+		sz += int64(len(key)) + 40
+	}
+	if e.ACFA != nil {
+		sz += 512
+	}
+	if e.Race != nil {
+		sz += 256
+	}
+	return sz
+}
+
+// highWater raises hw to v if v is larger.
+func highWater(hw *atomic.Int64, v int64) {
+	for {
+		cur := hw.Load()
+		if v <= cur || hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Revalidated records that a hit's evidence was independently
@@ -179,17 +300,10 @@ func (s *Store) Len() int {
 	if s == nil {
 		return 0
 	}
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.entries)
-		sh.mu.RUnlock()
-	}
-	return n
+	return int(s.count.Load())
 }
 
-// Stats snapshots the traffic counters.
+// Stats snapshots the traffic counters and size watermarks.
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
@@ -200,6 +314,11 @@ func (s *Store) Stats() Stats {
 		Writes:               s.writes.Load(),
 		Revalidations:        s.revalidations.Load(),
 		RevalidationFailures: s.revalFailures.Load(),
+		Evictions:            s.evictions.Load(),
 		Entries:              s.Len(),
+		MaxEntries:           s.maxEntries,
+		Bytes:                s.bytes.Load(),
+		BytesHighWater:       s.bytesHW.Load(),
+		EntriesHighWater:     s.countHW.Load(),
 	}
 }

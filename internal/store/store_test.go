@@ -74,6 +74,115 @@ func TestNilStoreIsNoOp(t *testing.T) {
 	}
 }
 
+func TestLRUEviction(t *testing.T) {
+	s := NewLRU(3)
+	canon := func(i int) []byte { return []byte(fmt.Sprintf("entry-%d", i)) }
+	for i := 0; i < 5; i++ {
+		s.Put(&Entry{Canon: canon(i), Verdict: Safe})
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("stats after 5 puts at cap 3 = %+v", st)
+	}
+	// 0 and 1 were least recently used and must be gone; 2..4 remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(canon(i)); ok {
+			t.Fatalf("entry %d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := s.Get(canon(i)); !ok {
+			t.Fatalf("entry %d evicted prematurely", i)
+		}
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	s := NewLRU(3)
+	canon := func(i int) []byte { return []byte(fmt.Sprintf("entry-%d", i)) }
+	for i := 0; i < 3; i++ {
+		s.Put(&Entry{Canon: canon(i), Verdict: Safe})
+	}
+	// Touch 0: it becomes most recent, so the next overflow evicts 1.
+	if _, ok := s.Get(canon(0)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	s.Put(&Entry{Canon: canon(3), Verdict: Safe})
+	if _, ok := s.Get(canon(1)); ok {
+		t.Fatal("entry 1 should have been the LRU victim")
+	}
+	if _, ok := s.Get(canon(0)); !ok {
+		t.Fatal("recently touched entry 0 evicted")
+	}
+}
+
+func TestLRUOverwriteDoesNotEvict(t *testing.T) {
+	s := NewLRU(2)
+	canon := []byte("same-key")
+	s.Put(&Entry{Canon: canon, Verdict: Safe})
+	s.Put(&Entry{Canon: canon, Verdict: Unsafe})
+	st := s.Stats()
+	if st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("overwrite at cap miscounted: %+v", st)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	s := New()
+	s.Put(&Entry{Canon: []byte("a-canonical-serialization"), Verdict: Safe,
+		Preds: []expr.Expr{expr.Var{Name: "x"}}})
+	st := s.Stats()
+	if st.Bytes <= 0 {
+		t.Fatalf("Bytes = %d, want > 0", st.Bytes)
+	}
+	if st.BytesHighWater < st.Bytes || st.EntriesHighWater < int64(st.Entries) {
+		t.Fatalf("high water below live: %+v", st)
+	}
+	// Eviction gives bytes back but the watermark holds.
+	s2 := NewLRU(1)
+	s2.Put(&Entry{Canon: []byte("first")})
+	s2.Put(&Entry{Canon: []byte("second")})
+	st2 := s2.Stats()
+	if st2.Entries != 1 || st2.Evictions != 1 {
+		t.Fatalf("cap-1 stats = %+v", st2)
+	}
+	if st2.EntriesHighWater != 2 {
+		t.Fatalf("EntriesHighWater = %d, want 2", st2.EntriesHighWater)
+	}
+	if st2.BytesHighWater <= st2.Bytes {
+		t.Fatalf("watermark %d should exceed live %d after eviction",
+			st2.BytesHighWater, st2.Bytes)
+	}
+	if st2.MaxEntries != 1 {
+		t.Fatalf("MaxEntries = %d, want 1", st2.MaxEntries)
+	}
+}
+
+func TestConcurrentLRU(t *testing.T) {
+	s := NewLRU(20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				canon := []byte(fmt.Sprintf("unit-%d", i%50))
+				if _, ok := s.Get(canon); !ok {
+					s.Put(&Entry{Canon: canon, Verdict: Safe, K: i})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries > 20 {
+		t.Fatalf("Entries = %d exceeds cap 20", st.Entries)
+	}
+	if st.Bytes < 0 {
+		t.Fatalf("Bytes went negative: %d", st.Bytes)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := New()
 	var wg sync.WaitGroup

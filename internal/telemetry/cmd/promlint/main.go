@@ -1,0 +1,20 @@
+// Command promlint validates a Prometheus text exposition read from
+// stdin against the line format: well-formed sample lines, declared
+// # TYPE families, parseable values. It exits 0 on a clean exposition
+// and 1 with the first violation on stderr — CI pipes the daemon's
+// /metrics scrape through it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"circ/internal/telemetry"
+)
+
+func main() {
+	if err := telemetry.LintPrometheus(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}

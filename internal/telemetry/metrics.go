@@ -139,6 +139,16 @@ func (g *Gauge) Set(v int64) {
 	g.next.Set(v)
 }
 
+// Add shifts the gauge by delta (and the parent chain) — the idiom for
+// in-flight style gauges that rise on entry and fall on exit.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+	g.next.Add(delta)
+}
+
 // Max raises the gauge to v when v exceeds the current value.
 func (g *Gauge) Max(v int64) {
 	if g == nil {

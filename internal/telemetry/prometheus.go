@@ -1,0 +1,396 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a stdlib-only Prometheus text-format exporter for
+// Metrics snapshots (exposition format version 0.0.4), so a long-running
+// daemon can be scraped by any Prometheus-compatible collector without
+// pulling in a client library.
+//
+// Registry metric names map onto Prometheus families as follows:
+//
+//   - every name is prefixed "circ_" and sanitised (characters outside
+//     [a-zA-Z0-9_] become '_'), so "smt.cache.hits" → "circ_smt_cache_hits";
+//   - counters get the conventional "_total" suffix and TYPE counter;
+//   - gauges export verbatim with TYPE gauge;
+//   - duration histograms get a "_seconds" suffix and TYPE histogram, with
+//     the full 1-2-5 bucket ladder rendered cumulatively (every bound is
+//     emitted even when empty, so the exposition's line set is stable
+//     across scrapes) plus the "+Inf" bucket, "_sum" (seconds), "_count".
+//
+// Labels ride inside registry names: a name may carry a Prometheus-style
+// label suffix, e.g.
+//
+//	reg.Counter(`http.requests{endpoint="/v1/check",code="202"}`)
+//
+// All metrics sharing a base name form one family (one # TYPE line,
+// consecutive samples), which is exactly what the format requires.
+// Families and samples are emitted in sorted order, so the exposition is
+// byte-stable for identical snapshot values.
+
+// promSample is one rendered sample line (name + optional labels, value).
+// key and order define the emission order: samples sort by key (the
+// series' labels, excluding "le"), then by order — which keeps a
+// histogram's bucket ladder ascending with _sum and _count trailing, as
+// consumers conventionally expect.
+type promSample struct {
+	key    string
+	order  int
+	labels string // canonical "{k=\"v\",...}" or ""
+	suffix string // "_bucket", "_sum", "_count" for histograms
+	value  string
+}
+
+// promFamily collects one metric family: the TYPE line plus its samples.
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Output is deterministic: families sorted by name, samples
+// sorted by label set within each family.
+func WritePrometheus(w io.Writer, m Metrics) error {
+	fams := make(map[string]*promFamily)
+	family := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+	for name, v := range m.Counters {
+		base, labels := splitLabels(name)
+		f := family(promName(base)+"_total", "counter")
+		f.samples = append(f.samples, promSample{key: labels, labels: labels, value: strconv.FormatInt(v, 10)})
+	}
+	for name, v := range m.Gauges {
+		base, labels := splitLabels(name)
+		f := family(promName(base), "gauge")
+		f.samples = append(f.samples, promSample{key: labels, labels: labels, value: strconv.FormatInt(v, 10)})
+	}
+	for name, hs := range m.Histograms {
+		base, labels := splitLabels(name)
+		f := family(promName(base)+"_seconds", "histogram")
+		f.samples = append(f.samples, histogramSamples(labels, hs)...)
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		sort.SliceStable(f.samples, func(i, j int) bool {
+			if f.samples[i].key != f.samples[j].key {
+				return f.samples[i].key < f.samples[j].key
+			}
+			return f.samples[i].order < f.samples[j].order
+		})
+		for _, s := range f.samples {
+			name := f.name + s.suffix
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histogramSamples renders one labelled histogram series: the cumulative
+// 1-2-5 ladder (every bound, then +Inf), the sum in seconds, the count.
+func histogramSamples(labels string, hs HistSnapshot) []promSample {
+	// Fold the snapshot's sparse buckets back onto the ladder. Foreign
+	// bounds (merged snapshots) land in the containing ladder bucket.
+	counts := make([]int64, numBuckets)
+	for _, b := range hs.Buckets {
+		i := len(histBounds)
+		if b.LE != math.MaxInt64 {
+			i = bucketIndex(time.Duration(b.LE))
+		}
+		counts[i] += b.Count
+	}
+	out := make([]promSample, 0, numBuckets+2)
+	var cum int64
+	for i, bound := range histBounds {
+		cum += counts[i]
+		out = append(out, promSample{
+			key:    labels,
+			order:  i,
+			labels: mergeLabels(labels, `le="`+formatSeconds(bound)+`"`),
+			suffix: "_bucket",
+			value:  strconv.FormatInt(cum, 10),
+		})
+	}
+	out = append(out, promSample{
+		key:    labels,
+		order:  numBuckets,
+		labels: mergeLabels(labels, `le="+Inf"`),
+		suffix: "_bucket",
+		value:  strconv.FormatInt(hs.Count, 10),
+	})
+	out = append(out, promSample{
+		key:    labels,
+		order:  numBuckets + 1,
+		labels: labels,
+		suffix: "_sum",
+		value:  strconv.FormatFloat(float64(hs.SumNanos)/1e9, 'g', -1, 64),
+	})
+	out = append(out, promSample{
+		key:    labels,
+		order:  numBuckets + 2,
+		labels: labels,
+		suffix: "_count",
+		value:  strconv.FormatInt(hs.Count, 10),
+	})
+	return out
+}
+
+// formatSeconds renders a bucket bound as seconds the way Prometheus
+// clients conventionally do: shortest decimal ("1e-06", "0.001", "10").
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// splitLabels separates a registry name into its base name and an
+// optional canonical label suffix. The label part, when present, is kept
+// verbatim (it is already in Prometheus syntax by convention).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabels appends extra (a single k="v" pair) to an existing label
+// set, producing canonical "{...}" syntax.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// promName sanitises a registry base name into a Prometheus metric name:
+// "circ_" prefix, characters outside [a-zA-Z0-9_] replaced by '_'.
+func promName(base string) string {
+	var sb strings.Builder
+	sb.Grow(len(base) + 5)
+	sb.WriteString("circ_")
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// LintPrometheus validates a text exposition against the line format:
+// every non-comment line must be a well-formed sample, every sample must
+// belong to a declared # TYPE family (histogram samples via their
+// _bucket/_sum/_count suffixes), TYPE declarations must not repeat, and
+// sample values must parse as numbers. It returns the first violation.
+func LintPrometheus(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	types := make(map[string]string)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			if ln != len(lines)-1 {
+				return fmt.Errorf("line %d: empty line inside exposition", ln+1)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for %s", ln+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		name, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: bad sample value %q", ln+1, value)
+		}
+		if !sampleHasFamily(name, types) {
+			return fmt.Errorf("line %d: sample %s has no # TYPE declaration", ln+1, name)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits "name{labels} value" (labels optional), checking
+// the metric name and label syntax.
+func parseSampleLine(line string) (name, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := closingBrace(rest, i)
+		if j < 0 {
+			return "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if err := lintLabels(rest[i+1 : j]); err != nil {
+			return "", "", err
+		}
+		name = rest[:i]
+		rest = rest[j+1:]
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		name = rest[:sp]
+		rest = rest[sp:]
+	} else {
+		return "", "", fmt.Errorf("no value in sample line %q", line)
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", fmt.Errorf("malformed value in %q", line)
+	}
+	return name, rest, nil
+}
+
+// lintLabels checks a comma-separated k="v" list.
+func lintLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(s) {
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !validLabelName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// closingBrace locates the '}' that closes the label block opened at
+// index open, skipping braces inside quoted label values (label values
+// like endpoint="/v1/jobs/{id}" are legal). Returns -1 when unclosed.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleHasFamily resolves a sample name to its declared family: exact
+// match for counters/gauges, or the base histogram family for
+// _bucket/_sum/_count samples.
+func sampleHasFamily(name string, types map[string]string) bool {
+	if _, ok := types[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return true
+			}
+		}
+	}
+	return false
+}

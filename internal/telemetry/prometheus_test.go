@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promSnapshot builds a deterministic snapshot exercising every family
+// type, label syntax, and the histogram ladder (including overflow).
+func promSnapshot() Metrics {
+	r := NewRegistry()
+	r.Counter("smt.cache.hits").Add(42)
+	r.Counter(`http.requests{endpoint="/v1/check",code="202"}`).Add(3)
+	r.Counter(`http.requests{endpoint="/v1/check",code="400"}`).Add(1)
+	r.Counter(`http.requests{endpoint="/metrics",code="200"}`).Add(7)
+	r.Gauge("store.entries").Set(12)
+	r.Gauge(`http.in_flight{endpoint="/v1/check"}`).Set(2)
+	h := r.Histogram(`http.latency{endpoint="/v1/check"}`)
+	h.Observe(800 * time.Nanosecond) // first bucket
+	h.Observe(3 * time.Microsecond)  // 5µs bucket
+	h.Observe(40 * time.Millisecond) // 50ms bucket
+	h.Observe(40 * time.Millisecond) // 50ms bucket again
+	h.Observe(30 * time.Second)      // overflow
+	r.Histogram("jobs.latency").Observe(123 * time.Millisecond)
+	return r.Snapshot()
+}
+
+// TestWritePrometheusGolden locks the exposition byte-for-byte: family
+// names, TYPE lines, label rendering, cumulative bucket ladders, sort
+// order. Regenerate with -update after intentional format changes.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two renders of the same snapshot are
+// byte-identical (map iteration order must not leak).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := promSnapshot()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("nondeterministic exposition:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestWritePrometheusLints: the exporter's own output passes the linter,
+// and the linter catches representative violations.
+func TestWritePrometheusLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("own exposition fails lint: %v", err)
+	}
+	// Braces inside quoted label values are legal and must not confuse
+	// the label-block scan.
+	braced := "# TYPE circ_x counter\ncirc_x{endpoint=\"/v1/jobs/{id}\"} 1\n"
+	if err := LintPrometheus(strings.NewReader(braced)); err != nil {
+		t.Errorf("lint rejected braces in quoted label value: %v", err)
+	}
+	for _, bad := range []string{
+		"circ_x 1\n",                                   // sample without TYPE
+		"# TYPE circ_x counter\ncirc_x one\n",          // non-numeric value
+		"# TYPE circ_x counter\n# TYPE circ_x gauge\n", // duplicate TYPE
+		"# TYPE circ_x widget\n",                       // unknown type
+		"# TYPE circ_x counter\ncirc_x{a=b} 1\n",       // unquoted label value
+		"# TYPE circ_x counter\n9circ_x 1\n",           // bad metric name
+	} {
+		if err := LintPrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("lint accepted %q", bad)
+		}
+	}
+}
+
+// TestHistogramCumulative: bucket samples are cumulative and the +Inf
+// bucket equals the count, per the format spec.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	for i := 0; i < 5; i++ {
+		h.Observe(3 * time.Microsecond) // all in the 5µs bucket
+	}
+	h.Observe(time.Minute) // overflow
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`circ_d_seconds_bucket{le="2e-06"} 0`,
+		`circ_d_seconds_bucket{le="5e-06"} 5`,
+		`circ_d_seconds_bucket{le="10"} 5`,
+		`circ_d_seconds_bucket{le="+Inf"} 6`,
+		`circ_d_seconds_count 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -40,8 +40,13 @@ type (
 	CertStoreStats = store.Stats
 )
 
-// NewCertStore returns an empty certificate store.
+// NewCertStore returns an empty, unbounded certificate store.
 func NewCertStore() *CertStore { return store.New() }
+
+// NewCertStoreLRU returns an empty certificate store that holds at most
+// maxEntries entries, evicting the least recently used certificate when
+// the bound is exceeded. maxEntries <= 0 means unbounded.
+func NewCertStoreLRU(maxEntries int) *CertStore { return store.NewLRU(maxEntries) }
 
 // WithCertStore attaches a certificate store: every unit analysed by the
 // Checker first probes st, and verdicts computed the hard way are stored
