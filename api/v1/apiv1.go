@@ -51,6 +51,10 @@ type Options struct {
 	Omega bool `json:"omega,omitempty"`
 	// Parallelism bounds the job's worker pool; capped by the daemon.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Sched selects the reachability scheduler: "steal" (the default
+	// deterministic work-stealing pool) or "level" (level-synchronous).
+	// Empty keeps the daemon default.
+	Sched string `json:"sched,omitempty"`
 	// Triage disables ("off") or forces ("on") the static triage stage.
 	// Empty keeps the default (on).
 	Triage string `json:"triage,omitempty"`
@@ -187,11 +191,12 @@ type JobList struct {
 
 // Stats is the daemon-wide /v1/stats snapshot.
 type Stats struct {
-	Jobs     JobStats      `json:"jobs"`
-	Arena    ArenaStats    `json:"arena"`
-	SMT      SMTStats      `json:"smt"`
-	Store    StoreStats    `json:"store"`
-	Lifetime LifetimeStats `json:"lifetime"`
+	Jobs      JobStats       `json:"jobs"`
+	Arena     ArenaStats     `json:"arena"`
+	SMT       SMTStats       `json:"smt"`
+	Store     StoreStats     `json:"store"`
+	Scheduler SchedulerStats `json:"scheduler"`
+	Lifetime  LifetimeStats  `json:"lifetime"`
 }
 
 // JobStats counts submissions by outcome. Active is the number of jobs
@@ -204,25 +209,41 @@ type JobStats struct {
 	Active    int64 `json:"active"`
 }
 
-// ArenaStats describes the shared hash-consing arena. The arena is
-// append-only, so the high-water marks equal the live values; they are
-// reported separately to keep the watermark contract uniform with the
-// store.
+// ArenaStats describes the shared hash-consing arena. Interning only
+// appends, but idle-time compaction sweeps nodes no longer reachable
+// from the daemon's certificate store, so the live values can drop
+// below the high-water marks.
 type ArenaStats struct {
-	// Nodes is the number of distinct interned expression nodes.
+	// Nodes is the number of live interned expression nodes.
 	Nodes int64 `json:"nodes"`
 	// Bytes estimates the arena's resident footprint.
 	Bytes          int64 `json:"bytes"`
 	NodesHighWater int64 `json:"nodes_high_water"`
 	BytesHighWater int64 `json:"bytes_high_water"`
+	// Compactions counts completed arena compaction passes.
+	Compactions int64 `json:"compactions"`
 }
 
-// SMTStats describes the shared SMT verdict cache.
+// SMTStats describes the shared SMT verdict cache and the
+// learned-clause portfolio layered on it.
 type SMTStats struct {
 	Hits     int64   `json:"hits"`
 	Misses   int64   `json:"misses"`
 	FastPath int64   `json:"fast_path"`
 	HitRate  float64 `json:"hit_rate"`
+	// ClausesShared counts learned clauses replayed into a session from
+	// another session's conflict analysis over the same formula.
+	ClausesShared int64 `json:"clauses_shared"`
+}
+
+// SchedulerStats describes the work-stealing reachability scheduler,
+// aggregated over every analysis the daemon has run.
+type SchedulerStats struct {
+	// Steals counts slots taken from another worker's deque.
+	Steals int64 `json:"steals"`
+	// WorkerIdleSeconds is the cumulative wall time expansion workers
+	// spent parked waiting for work.
+	WorkerIdleSeconds float64 `json:"worker_idle_seconds"`
 }
 
 // StoreStats describes the certificate store, including its LRU bound

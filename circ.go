@@ -49,11 +49,13 @@ import (
 	icirc "circ/internal/circ"
 	"circ/internal/dataflow"
 	"circ/internal/explicit"
+	"circ/internal/expr"
 	"circ/internal/flowcheck"
 	"circ/internal/journal"
 	"circ/internal/lang"
 	"circ/internal/lockset"
 	"circ/internal/param"
+	"circ/internal/reach"
 	"circ/internal/refine"
 	"circ/internal/smt"
 	"circ/internal/store"
@@ -217,6 +219,7 @@ type Checker struct {
 	tracer      *telemetry.Tracer
 	registry    *telemetry.Registry
 	parallelism int
+	sched       Sched
 	maxRounds   int
 	maxInner    int
 	maxStates   int
@@ -275,6 +278,37 @@ func WithTracer(tr *Tracer) Option { return func(c *Checker) { c.tracer = tr } }
 // expanded by at most n workers. n <= 0 selects GOMAXPROCS (the default).
 // Verdicts are identical at any parallelism.
 func WithParallelism(n int) Option { return func(c *Checker) { c.parallelism = n } }
+
+// Sched selects the reachability scheduler; see SchedSteal and
+// SchedLevel. Both produce identical verdicts, race traces, and
+// journals at any parallelism.
+type Sched = reach.Sched
+
+// Scheduler choices for WithScheduler.
+const (
+	// SchedSteal (the default) is the deterministic work-stealing pool:
+	// workers expand outstanding states from per-worker deques with no
+	// level barrier, while a sequential merger pins discovery order.
+	SchedSteal = reach.SchedSteal
+	// SchedLevel is the level-synchronous scheduler: expand one BFS
+	// level in parallel, merge, repeat. Kept for comparison.
+	SchedLevel = reach.SchedLevel
+)
+
+// WithScheduler selects the reachability scheduler (default SchedSteal).
+func WithScheduler(s Sched) Option { return func(c *Checker) { c.sched = s } }
+
+// ParseSched maps a scheduler name — "steal" or "level" — onto its
+// Sched value, for flag and wire-option parsing.
+func ParseSched(name string) (Sched, error) {
+	switch name {
+	case "steal":
+		return SchedSteal, nil
+	case "level":
+		return SchedLevel, nil
+	}
+	return SchedSteal, fmt.Errorf("unknown scheduler %q (want \"steal\" or \"level\")", name)
+}
 
 // WithJournal attaches a flight recorder: every analysis run through the
 // Checker emits its inference events (one case per (thread, variable)
@@ -378,8 +412,38 @@ func (c *Checker) options(logger *slog.Logger, parallelism int) icirc.Options {
 		MaxInner:    c.maxInner,
 		MaxStates:   c.maxStates,
 		Parallelism: parallelism,
+		Sched:       c.sched,
 	}
 }
+
+// CompactArena sweeps the process-wide expression-interning arena,
+// tombstoning every formula not reachable from the Checker's live
+// roots — the certificate store's context models, predicate sets, and
+// trace formulas — and then drops SMT verdict-cache entries and
+// learned-clause pools referring to swept formulas. Live IDs keep their
+// identity; dead IDs are never reused.
+//
+// It must only be called with no analyses in flight on this Checker (or
+// any Checker derived from it — they share the solver and store): the
+// daemon compacts between jobs. It returns the arena statistics of the
+// sweep.
+func (c *Checker) CompactArena() ArenaStats {
+	var roots []expr.ID
+	if c.store != nil {
+		roots = c.store.AppendExprIDs(roots)
+	}
+	expr.Compact(roots)
+	c.solver.SweepDead()
+	return CurrentArenaStats()
+}
+
+// ArenaStats reports the process-wide expression arena: live node and
+// byte estimates, their high-water marks, and the number of compaction
+// passes performed.
+type ArenaStats = expr.ArenaStats
+
+// CurrentArenaStats returns the arena statistics without compacting.
+func CurrentArenaStats() ArenaStats { return expr.Stats() }
 
 // prepareUnit runs the static pre-analysis for one (thread CFA,
 // variable) unit: the triage rules first, then cone-of-influence

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -44,6 +45,7 @@ import (
 
 var (
 	parallel   = flag.Int("parallel", 0, "analysis worker pool size (0: GOMAXPROCS)")
+	schedName  = flag.String("sched", "steal", "reachability scheduler for every phase: steal or level")
 	benchOut   = flag.String("benchout", "BENCH_parallel.json", "output path for the -bench report")
 	programDir = flag.String("programs", "examples/programs", "directory of .mn programs to include in -bench (skipped when missing)")
 	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
@@ -119,6 +121,9 @@ func parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// sched is the parsed -sched value, applied to every public-API run.
+var sched circ.Sched
+
 func main() {
 	var (
 		table1  = flag.Bool("table1", false, "reproduce Table 1")
@@ -128,6 +133,11 @@ func main() {
 		bench   = flag.Bool("bench", false, "run the parallel-engine benchmark and write "+*benchOut)
 	)
 	flag.Parse()
+	var err error
+	if sched, err = circ.ParseSched(*schedName); err != nil {
+		fmt.Fprintln(os.Stderr, "circbench: -sched:", err)
+		os.Exit(3)
+	}
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer()
 		baseCtx = telemetry.NewContext(baseCtx, tracer)
@@ -298,7 +308,7 @@ func check(app benchapps.App) (*icirc.Report, *cfa.CFA, time.Duration) {
 	ctx, s := journalCtx(phaseCtx, app.Key())
 	start := time.Now()
 	rep, err := icirc.Check(ctx, c, app.Variable,
-		icirc.Options{Parallelism: parallelism(), Metrics: reg}, chk)
+		icirc.Options{Parallelism: parallelism(), Sched: sched, Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -407,7 +417,7 @@ func runFigures() {
 	fmt.Println("-- Figures 2-4: CIRC iterations (ARGs, minimised ACFAs, refinements) --")
 	fctx, s := journalCtx(phaseCtx, "testandset/x")
 	rep, err := icirc.Check(fctx, c, "x",
-		icirc.Options{Logger: telemetry.NarrationLogger(os.Stdout), Metrics: reg}, chk)
+		icirc.Options{Logger: telemetry.NarrationLogger(os.Stdout), Sched: sched, Metrics: reg}, chk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circbench:", err)
 		os.Exit(1)
@@ -463,15 +473,25 @@ type benchRow struct {
 	// (summed over all targets of the case).
 	TriageDischarged   int64 `json:"triage_discharged"`
 	SlicedEdgesRemoved int64 `json:"sliced_edges_removed"`
+	// Scheduler behaviour of the parallel run: slots stolen from another
+	// worker's deque, cumulative worker idle wall time, and learned SMT
+	// clauses replayed across sessions by the portfolio.
+	Steals        int64   `json:"steals"`
+	IdleMillis    float64 `json:"idle_ms"`
+	ClausesShared int64   `json:"clauses_shared"`
 }
 
 type benchReport struct {
 	GOMAXPROCS  int        `json:"gomaxprocs"`
 	Parallelism int        `json:"parallelism"`
+	Sched       string     `json:"sched"`
 	Rows        []benchRow `json:"benchmarks"`
 	TotalSeqMs  float64    `json:"total_seq_ms"`
 	TotalParMs  float64    `json:"total_par_ms"`
 	Speedup     float64    `json:"speedup"`
+	// GeomeanSpeedup is the geometric mean of the per-case speedups —
+	// the scale-free figure the CI bench-smoke floor is checked against.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
 	// ReuseHitRate aggregates the warm legs: certificates reused over
 	// all warm targets.
 	ReuseHitRate float64 `json:"reuse_hit_rate"`
@@ -543,7 +563,7 @@ func benchCases() []benchCase {
 // work).
 func runOnce(src string, par int) (*circ.BatchReport, error) {
 	return circ.CheckAllRaces(context.Background(), src,
-		circ.WithParallelism(par), circ.WithTracer(tracer),
+		circ.WithParallelism(par), circ.WithScheduler(sched), circ.WithTracer(tracer),
 		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
 }
 
@@ -554,7 +574,7 @@ func runOnce(src string, par int) (*circ.BatchReport, error) {
 func runWarm(src string, par int) (warm *circ.BatchReport, reused int, err error) {
 	chk := circ.NewChecker(
 		circ.WithCertStore(circ.NewCertStore()),
-		circ.WithParallelism(par), circ.WithTracer(tracer),
+		circ.WithParallelism(par), circ.WithScheduler(sched), circ.WithTracer(tracer),
 		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
 	prog, err := circ.Parse(src)
 	if err != nil {
@@ -583,9 +603,10 @@ func runBench() {
 	if par > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(par)
 	}
-	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers ==\n", par)
-	fmt.Printf("%-28s %7s %6s %9s %9s %9s %8s %7s %9s %11s\n", "benchmark", "targets", "disch", "seq", "par", "warm", "speedup", "reuse", "hit-rate", "allocs/q")
-	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
+	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers (%s scheduler) ==\n", par, sched)
+	fmt.Printf("%-28s %7s %6s %9s %9s %9s %8s %7s %9s %11s %7s %8s %7s\n",
+		"benchmark", "targets", "disch", "seq", "par", "warm", "speedup", "reuse", "hit-rate", "allocs/q", "steals", "idle", "shared")
+	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par, Sched: sched.String()}
 	// Each runOnce uses a fresh checker (and so a fresh registry); merge
 	// the per-run snapshots into a bench-level child of the process
 	// registry so BENCH_parallel.json carries the aggregate.
@@ -626,6 +647,9 @@ func runBench() {
 
 			TriageDischarged:   parRep.Metrics.Counter("triage.discharged"),
 			SlicedEdgesRemoved: parRep.Metrics.Counter("slice.edges_removed"),
+			Steals:             parRep.Metrics.Counter("reach.steal.count"),
+			IdleMillis:         float64(parRep.Metrics.Histograms["reach.worker.idle"].SumNanos) / 1e6,
+			ClausesShared:      parRep.Metrics.Counter("smt.portfolio.clauses_shared"),
 		}
 		if queries := row.CacheHits + row.CacheMisses + row.FastPath; queries > 0 {
 			row.AllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(queries)
@@ -659,12 +683,26 @@ func runBench() {
 		if !row.VerdictsAgree {
 			agree = "  VERDICT MISMATCH"
 		}
-		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %8.0fms %7.2fx %6.0f%% %8.1f%% %11.0f%s\n",
+		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %8.0fms %7.2fx %6.0f%% %8.1f%% %11.0f %7d %6.0fms %7d%s\n",
 			bc.Name, row.Targets, row.TriageDischarged, row.SeqMillis, row.ParMillis, row.WarmMillis,
-			row.Speedup, 100*row.ReuseHitRate, 100*row.HitRate, row.AllocsPerQuery, agree)
+			row.Speedup, 100*row.ReuseHitRate, 100*row.HitRate, row.AllocsPerQuery,
+			row.Steals, row.IdleMillis, row.ClausesShared, agree)
 	}
 	if report.TotalParMs > 0 {
 		report.Speedup = report.TotalSeqMs / report.TotalParMs
+	}
+	// Geometric mean of the per-case speedups: each case contributes
+	// equally regardless of its absolute runtime.
+	var logSum float64
+	var nSpeedups int
+	for _, row := range report.Rows {
+		if row.Speedup > 0 {
+			logSum += math.Log(row.Speedup)
+			nSpeedups++
+		}
+	}
+	if nSpeedups > 0 {
+		report.GeomeanSpeedup = math.Exp(logSum / float64(nSpeedups))
 	}
 	var targets, reused int
 	for _, row := range report.Rows {
@@ -676,8 +714,9 @@ func runBench() {
 	}
 	report.Metrics = breg.Snapshot()
 	report.PhaseLatency = phaseLatencies(report.Metrics)
-	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %9s %7.2fx %6.0f%%\n",
-		"TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, "", report.Speedup, 100*report.ReuseHitRate)
+	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %9s %7.2fx %6.0f%%  (geomean %.2fx)\n",
+		"TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, "", report.Speedup,
+		100*report.ReuseHitRate, report.GeomeanSpeedup)
 	// A bench file without the effective GOMAXPROCS is uninterpretable —
 	// the parallel columns can't be compared across machines. Refuse to
 	// write one (this can only happen if the raise above is bypassed).

@@ -5,7 +5,7 @@
 //
 //	circd [-addr :8723] [-jobs N] [-parallel N] [-job-timeout 5m]
 //	      [-drain-timeout 30s] [-store-max-entries N] [-k N] [-omega]
-//	      [-triage on|off] [-slice on|off]
+//	      [-sched steal|level] [-compact-arena] [-triage on|off] [-slice on|off]
 //
 // One process holds the hash-consing arena, the shared SMT verdict
 // cache, and the content-addressed certificate store across requests, so
@@ -84,6 +84,8 @@ func run(args []string) int {
 		storeMax     = fs.Int("store-max-entries", 0, "certificate store LRU bound (0: unbounded)")
 		k            = fs.Int("k", 1, "default initial counter parameter")
 		omega        = fs.Bool("omega", false, "default to the omega-CIRC variant")
+		schedName    = fs.String("sched", "steal", "default reachability scheduler: steal or level")
+		compactArena = fs.Bool("compact-arena", false, "compact the expression arena whenever the daemon goes idle")
 		quiet        = fs.Bool("quiet", false, "suppress request and job logs")
 	)
 	triage, slice := onoff(true), onoff(true)
@@ -105,9 +107,15 @@ func run(args []string) int {
 	if *quiet {
 		logger = nil
 	}
+	sched, err := circ.ParseSched(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circd: -sched:", err)
+		return 3
+	}
 	chk := circ.NewChecker(
 		circ.WithCertStore(circ.NewCertStoreLRU(*storeMax)),
 		circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel),
+		circ.WithScheduler(sched),
 		circ.WithTriage(bool(triage)), circ.WithSlicing(bool(slice)),
 	)
 	srv := server.New(server.Config{
@@ -115,6 +123,7 @@ func run(args []string) int {
 		MaxConcurrent: *jobs,
 		JobTimeout:    *jobTimeout,
 		Logger:        logger,
+		CompactArena:  *compactArena,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -93,6 +93,8 @@ type Options struct {
 	// parallelism; values > 1 require chk to be safe for concurrent use
 	// (smt.CachedChecker).
 	Parallelism int
+	// Sched selects the reachability scheduler (default: work-stealing).
+	Sched reach.Sched
 }
 
 func (o Options) k() int {
@@ -364,6 +366,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 				MaxStates:   opts.MaxStates,
 				MaxRaces:    opts.MaxRaces,
 				Parallelism: opts.Parallelism,
+				Sched:       opts.Sched,
 				Metrics:     opts.Metrics,
 			})
 			reachDone()

@@ -102,11 +102,17 @@ type arena struct {
 	ints   map[int64]ID
 	vars   map[string]ID
 	// bytes is a running estimate of the arena's memory footprint,
-	// maintained at insert so observability reads are O(1). The arena is
-	// append-only today, so the high-water marks equal the current
-	// values; they are tracked separately so the accounting survives a
-	// future snapshot/compaction pass unchanged.
-	bytes int64
+	// maintained at insert and decremented by Compact, so observability
+	// reads are O(1). nodesHW/bytesHW are the process-lifetime high-water
+	// marks; they diverge from the live values after a compaction pass.
+	bytes   int64
+	nodesHW int
+	bytesHW int64
+	// live counts non-tombstoned nodes; it equals len(nodes) until the
+	// first Compact. gen increments on every Compact so ID-keyed caches
+	// outside the arena can detect that a sweep happened.
+	live int
+	gen  uint64
 }
 
 var ar = &arena{
@@ -234,7 +240,7 @@ func internLeaf(kind Kind, ival int64, name string, rep Expr) ID {
 	ar.nodes = append(ar.nodes, inode{kind: kind, ival: ival, name: name, hash: h, rep: rep})
 	id = ID(len(ar.nodes))
 	ar.byHash[h] = append(ar.byHash[h], id)
-	ar.bytes += nodeBytes(len(name), 0)
+	ar.accountInsertLocked(nodeBytes(len(name), 0))
 	switch kind {
 	case KindInt:
 		ar.ints[ival] = id
@@ -286,8 +292,21 @@ func internComposite(kind Kind, op int8, kids []ID) ID {
 	ar.nodes = append(ar.nodes, inode{kind: kind, op: op, kids: own, hash: h, rep: rep})
 	id = ID(len(ar.nodes))
 	ar.byHash[h] = append(ar.byHash[h], id)
-	ar.bytes += nodeBytes(0, len(kids))
+	ar.accountInsertLocked(nodeBytes(0, len(kids)))
 	return id
+}
+
+// accountInsertLocked updates the live/bytes accounting and high-water
+// marks for one inserted node. Caller holds the write lock.
+func (a *arena) accountInsertLocked(nb int64) {
+	a.live++
+	a.bytes += nb
+	if a.live > a.nodesHW {
+		a.nodesHW = a.live
+	}
+	if a.bytes > a.bytesHW {
+		a.bytesHW = a.bytes
+	}
 }
 
 // --- public accessors ---
@@ -376,11 +395,10 @@ func InternStats() (nodes int) {
 
 // ArenaStats describes the process-wide interning arena for resource
 // watermarking: distinct canonical nodes, an estimated memory footprint,
-// and the high-water marks of both. The arena is append-only, so the
-// high-water marks currently equal the live values; a future compaction
-// pass would make them diverge, and daemon dashboards already plot both.
+// and the high-water marks of both. The live values and the high-water
+// marks diverge after a Compact pass reclaims dead nodes.
 type ArenaStats struct {
-	// Nodes is the number of distinct interned expression nodes.
+	// Nodes is the number of live (non-tombstoned) interned nodes.
 	Nodes int
 	// Bytes estimates the arena's memory footprint: per-node struct and
 	// hash-index overhead plus variable-length payloads (names, child
@@ -391,15 +409,19 @@ type ArenaStats struct {
 	// over the process lifetime.
 	NodesHighWater int
 	BytesHighWater int64
+	// Compactions counts completed Compact passes.
+	Compactions uint64
 }
 
 // Stats snapshots the arena's size accounting in O(1).
 func Stats() ArenaStats {
 	ar.mu.RLock()
-	s := ArenaStats{Nodes: len(ar.nodes), Bytes: ar.bytes}
+	s := ArenaStats{
+		Nodes: ar.live, Bytes: ar.bytes,
+		NodesHighWater: ar.nodesHW, BytesHighWater: ar.bytesHW,
+		Compactions: ar.gen,
+	}
 	ar.mu.RUnlock()
-	// Append-only arena: high water is the current reading.
-	s.NodesHighWater, s.BytesHighWater = s.Nodes, s.Bytes
 	return s
 }
 

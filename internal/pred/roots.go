@@ -1,0 +1,35 @@
+package pred
+
+import "circ/internal/expr"
+
+// Arena-compaction root enumeration. A long-lived process that compacts
+// the expression arena (expr.Compact) must root every interned ID that
+// long-lived predicate-abstraction structures will dereference again:
+// the canonical predicate literals of a Set and the memoised cube
+// formulas of Regions. These appenders force the memoisation (so the
+// rooted ID is the one the structure will actually use) and hand the
+// IDs to the caller; expr.Compact keeps their transitive subterms live.
+
+// AppendExprIDs appends the set's interned predicate literals (positive
+// and negated) to dst.
+func (s *Set) AppendExprIDs(dst []expr.ID) []expr.ID {
+	dst = append(dst, s.ids...)
+	return append(dst, s.negIDs...)
+}
+
+// AppendExprIDs appends the cube's memoised formula ID and its set's
+// literal IDs to dst.
+func (c *Cube) AppendExprIDs(dst []expr.ID) []expr.ID {
+	dst = c.set.AppendExprIDs(dst)
+	return append(dst, c.FormulaID())
+}
+
+// AppendExprIDs appends every cube formula of the region and the
+// underlying set's literal IDs to dst.
+func (r *Region) AppendExprIDs(dst []expr.ID) []expr.ID {
+	dst = r.set.AppendExprIDs(dst)
+	for _, c := range r.cubes {
+		dst = append(dst, c.FormulaID())
+	}
+	return dst
+}

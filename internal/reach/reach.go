@@ -14,6 +14,31 @@ import (
 	"circ/internal/telemetry"
 )
 
+// Sched selects the exploration scheduler. Both schedulers produce
+// identical verdicts, race lists, ARGs, and journals at any parallelism;
+// they differ only in how expansion work is distributed across workers.
+type Sched int
+
+const (
+	// SchedSteal (the default) runs the deterministic work-stealing pool:
+	// a sequential merger walks states in discovery order while workers
+	// race ahead expanding outstanding states from per-worker deques. No
+	// level barrier — workers stay busy as long as any work is
+	// outstanding. See steal.go for the determinism argument.
+	SchedSteal Sched = iota
+	// SchedLevel runs the original level-synchronous BFS: each frontier
+	// level is expanded by a worker pool, then merged sequentially before
+	// the next level starts. Kept for comparison (-sched level).
+	SchedLevel
+)
+
+func (s Sched) String() string {
+	if s == SchedLevel {
+		return "level"
+	}
+	return "steal"
+}
+
 // Options configures ReachAndBuild.
 type Options struct {
 	// K is the counter parameter: counts above K abstract to Omega.
@@ -28,13 +53,16 @@ type Options struct {
 	MaxRaces int
 	// Parallelism is the number of workers expanding frontier states
 	// concurrently; 0 or 1 runs sequentially. Results are identical at any
-	// parallelism: successors are computed level-parallel but merged in
+	// parallelism: successors are computed in parallel but merged in
 	// deterministic BFS order. Parallelism > 1 requires the abstractor's
 	// solver to be safe for concurrent use (smt.CachedChecker).
 	Parallelism int
+	// Sched selects the scheduler; the zero value is SchedSteal.
+	Sched Sched
 	// Metrics, when non-nil, receives exploration counters (states,
-	// levels, frontier high-water mark, post-cache effectiveness, races).
-	// Telemetry never affects the verdict, only observes it.
+	// levels, frontier high-water mark, post-cache effectiveness, races,
+	// steals, worker idle time). Telemetry never affects the verdict,
+	// only observes it.
 	Metrics *telemetry.Registry
 }
 
@@ -103,7 +131,11 @@ func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abst
 		e.cRaces = reg.Counter("reach.races")
 		e.cPostHits = reg.Counter("reach.post.cache.hits")
 		e.cPostMisses = reg.Counter("reach.post.cache.misses")
+		e.cSteals = reg.Counter("reach.steal.count")
 		e.gFrontier = reg.Gauge("reach.frontier.max")
+		// Exported to Prometheus as circ_reach_worker_idle_seconds (the
+		// exporter appends the unit suffix to histogram families).
+		e.hIdle = reg.Histogram("reach.worker.idle")
 	}
 	e.j = journal.FromContext(ctx)
 	ctx, sp := telemetry.StartSpan(ctx, "reach")
@@ -194,7 +226,9 @@ type explorer struct {
 	// is then a single nil check — see BenchmarkReachTelemetry).
 	cStates, cLevels, cRaces *telemetry.Counter
 	cPostHits, cPostMisses   *telemetry.Counter
+	cSteals                  *telemetry.Counter
 	gFrontier                *telemetry.Gauge
+	hIdle                    *telemetry.Histogram
 
 	// j records counter-widening events; emission happens only in the
 	// sequential merge phase, so the journal stays deterministic at any
@@ -212,15 +246,18 @@ func (e *explorer) cachedPost(key postKey, compute func() *pred.Cube) *pred.Cube
 	return c
 }
 
-// run is a level-synchronous BFS. Each level's states are expanded by a
-// worker pool (the expansion is pure: abstract posts and SMT queries,
-// no shared mutable state beyond the concurrent caches); the results are
-// then merged sequentially in frontier order, which reproduces the exact
-// dequeue order, race list, ARG, and budget accounting of a sequential
-// FIFO worklist — verdicts are bit-identical at any parallelism.
+// run dispatches to the configured scheduler. Both produce identical
+// results; see the Sched constants.
 func (e *explorer) run(ctx context.Context) (*Result, error) {
-	arg := NewARG(e.C, e.abs.Set)
+	if e.opts.Sched == SchedLevel {
+		return e.runLevel(ctx)
+	}
+	return e.runSteal(ctx)
+}
 
+// seed builds the ARG and the initial state shared by both schedulers.
+func (e *explorer) seed() (*ARG, *State) {
+	arg := NewARG(e.C, e.abs.Set)
 	allVars := append(append([]string(nil), e.C.Globals...), e.C.Locals...)
 	cube0 := e.abs.InitialCube(allVars)
 	ctx0 := make(Ctx, e.A.NumLocs())
@@ -231,6 +268,40 @@ func (e *explorer) run(ctx context.Context) (*Result, error) {
 	}
 	init := &State{TS: ThreadState{Loc: e.C.Entry, Cube: cube0}, Ctx: ctx0}
 	arg.SetEntry(init.TS)
+	return arg, init
+}
+
+// emitWidened journals context locations whose counter just saturated to
+// omega on the parent→child transition, once per run. Called only from
+// sequential merge phases, so emission order is deterministic.
+func (e *explorer) emitWidened(widened map[acfa.Loc]bool, parent, child *State) {
+	if widened == nil {
+		return
+	}
+	// A location whose counter just saturated (the parent's was finite)
+	// crossed k → omega on this transition. The omega-seeded entry never
+	// trips this: its parent value is already Omega.
+	for n := range child.Ctx {
+		l := acfa.Loc(n)
+		if child.Ctx[l] == Omega && parent.Ctx[l] != Omega && !widened[l] {
+			widened[l] = true
+			e.j.Emit(journal.Event{
+				Type: journal.EvCounterWidened,
+				Loc:  n, K: e.opts.K,
+			})
+		}
+	}
+}
+
+// runLevel is a level-synchronous BFS. Each level's states are expanded
+// by a worker pool (the expansion is pure: abstract posts and SMT
+// queries, no shared mutable state beyond the concurrent caches); the
+// results are then merged sequentially in frontier order, which
+// reproduces the exact dequeue order, race list, ARG, and budget
+// accounting of a sequential FIFO worklist — verdicts are bit-identical
+// at any parallelism.
+func (e *explorer) runLevel(ctx context.Context) (*Result, error) {
+	arg, init := e.seed()
 
 	seen := make(map[string]*parentInfo)
 	seen[init.Key()] = &parentInfo{state: init}
@@ -288,22 +359,7 @@ levels:
 				}
 				seen[k] = &parentInfo{parentKey: s.Key(), op: rec.op, state: rec.state}
 				next = append(next, rec.state)
-				if widened != nil {
-					// A location whose counter just saturated (the parent's
-					// was finite) crossed k → omega on this transition. The
-					// omega-seeded entry never trips this: its parent value
-					// is already Omega.
-					for n := range rec.state.Ctx {
-						l := acfa.Loc(n)
-						if rec.state.Ctx[l] == Omega && s.Ctx[l] != Omega && !widened[l] {
-							widened[l] = true
-							e.j.Emit(journal.Event{
-								Type: journal.EvCounterWidened,
-								Loc:  n, K: e.opts.K,
-							})
-						}
-					}
-				}
+				e.emitWidened(widened, s, rec.state)
 			}
 		}
 		frontier = next
@@ -311,12 +367,16 @@ levels:
 	return &Result{Races: races, ARG: arg, NumStates: numStates}, nil
 }
 
-// minParallelFrontier is the frontier size below which expansion runs
-// sequentially even when a worker pool is configured. Small levels —
-// common in the narrow early and late phases of a run, and throughout
-// programs whose frontier never widens — cost more in goroutine spawn and
-// channel handoff than their (mostly post-cache-hit) expansions save;
-// this cutover is what fixed the table1/surge parallel regression.
+// minParallelFrontier is the frontier size below which SchedLevel
+// expansion runs sequentially even when a worker pool is configured.
+// Small levels — common in the narrow early and late phases of a run,
+// and throughout programs whose frontier never widens — cost more in
+// goroutine spawn and channel handoff than their (mostly post-cache-hit)
+// expansions save; this cutover is what fixed the table1/surge parallel
+// regression. It keys on frontier length because that IS the outstanding
+// work of a level-synchronous round; the work-stealing scheduler has no
+// levels and uses the (smaller) outstanding-work cutover
+// minStealOutstanding in steal.go instead.
 const minParallelFrontier = 8
 
 // expandLevel computes the successor records of every frontier state,

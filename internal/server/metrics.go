@@ -102,16 +102,20 @@ func (s *Server) snapshotMetrics() telemetry.Metrics {
 		m.Gauges["store.entries_high_water"] = ss.EntriesHighWater
 	}
 
-	// Hash-consing arena.
+	// Hash-consing arena. Compactions counts idle-time sweep passes
+	// (monotonic, so a counter).
 	as := expr.Stats()
 	m.Gauges["arena.nodes"] = int64(as.Nodes)
 	m.Gauges["arena.bytes"] = as.Bytes
 	m.Gauges["arena.nodes_high_water"] = int64(as.NodesHighWater)
 	m.Gauges["arena.bytes_high_water"] = as.BytesHighWater
+	m.Counters["arena.compactions"] = int64(as.Compactions)
 
-	// The shared SMT verdict cache needs no injection: the solver is
-	// instrumented against this registry, so its "smt.cache.*" counters
-	// and the "smt.solve" histogram are already in the snapshot.
+	// The shared SMT verdict cache and the reach scheduler need no
+	// injection: the solver and engine are instrumented against this
+	// registry, so "smt.cache.*", "smt.portfolio.clauses_shared",
+	// "reach.steal.count", and the "reach.worker.idle" histogram are
+	// already in the snapshot.
 
 	m.Gauges["uptime_seconds"] = int64(time.Since(s.start).Seconds())
 	return m

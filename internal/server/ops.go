@@ -22,6 +22,7 @@ type opsModel struct {
 	Store     apiv1.StoreStats
 	Arena     apiv1.ArenaStats
 	SMT       apiv1.SMTStats
+	Scheduler apiv1.SchedulerStats
 	Endpoints []endpointRow
 	Ring      []ringRow
 	Evicted   int64
@@ -87,12 +88,20 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	m.Arena = apiv1.ArenaStats{
 		Nodes: int64(as.Nodes), Bytes: as.Bytes,
 		NodesHighWater: int64(as.NodesHighWater), BytesHighWater: as.BytesHighWater,
+		Compactions: int64(as.Compactions),
 	}
 	st := s.base.SMTStats()
-	m.SMT = apiv1.SMTStats{Hits: st.Hits, Misses: st.Misses, FastPath: st.FastPath, HitRate: st.HitRate()}
+	m.SMT = apiv1.SMTStats{
+		Hits: st.Hits, Misses: st.Misses, FastPath: st.FastPath,
+		HitRate: st.HitRate(), ClausesShared: st.ClausesShared,
+	}
 
 	// Per-endpoint HTTP latency, from the middleware's histograms.
 	snap := s.reg.Snapshot()
+	m.Scheduler = apiv1.SchedulerStats{
+		Steals:            snap.Counters["reach.steal.count"],
+		WorkerIdleSeconds: float64(snap.Histograms["reach.worker.idle"].SumNanos) / 1e9,
+	}
 	for _, ep := range []string{
 		"/v1/check", "/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/events",
 		"/v1/jobs/{id}/report", "/v1/stats", "/metrics", "/debug/circ/ops",
@@ -234,12 +243,16 @@ p99 {{printf "%.3fs" .Lifetime.CheckLatency.P99Seconds}}.</p>
 </table>
 </div>
 
-<h2>Expression arena &amp; SMT cache</h2>
+<h2>Expression arena, SMT cache &amp; scheduler</h2>
 <div class="panel">
-<p>Arena: {{.Arena.Nodes}} interned nodes, {{bytes .Arena.Bytes}}
-(high water {{.Arena.NodesHighWater}} nodes / {{bytes .Arena.BytesHighWater}}).
+<p>Arena: {{.Arena.Nodes}} live nodes, {{bytes .Arena.Bytes}}
+(high water {{.Arena.NodesHighWater}} nodes / {{bytes .Arena.BytesHighWater}};
+{{.Arena.Compactions}} compactions).
 SMT cache: {{.SMT.Hits}} hits, {{.SMT.Misses}} misses, {{.SMT.FastPath}} fast-path
-(hit rate {{printf "%.0f%%" (mulf .SMT.HitRate 100.0)}}).</p>
+(hit rate {{printf "%.0f%%" (mulf .SMT.HitRate 100.0)}});
+{{.SMT.ClausesShared}} learned clauses shared across sessions.
+Scheduler: {{.Scheduler.Steals}} steals,
+{{printf "%.3fs" .Scheduler.WorkerIdleSeconds}} cumulative worker idle.</p>
 </div>
 
 <h2>Completed jobs (last {{len .Ring}}{{if .Evicted}}, {{.Evicted}} aged out{{end}})</h2>

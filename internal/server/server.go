@@ -60,6 +60,12 @@ type Config struct {
 	// JobRing bounds the completed-job flight-data ring served by
 	// GET /v1/jobs and the ops dashboard. Zero means 64.
 	JobRing int
+	// CompactArena enables idle-time compaction of the shared
+	// expression arena: whenever a job finishes and no other job is
+	// running, nodes unreachable from the certificate store are swept
+	// and SMT cache entries over them dropped. Off by default — a
+	// short-lived daemon never needs it.
+	CompactArena bool
 	// Logger receives request and job lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -78,6 +84,10 @@ type Server struct {
 	wg        sync.WaitGroup
 	drain     atomic.Bool
 	flushOnce sync.Once
+	// gate excludes arena compaction from running jobs: every job holds
+	// the read side for the duration of CheckTargets, and the sweeper
+	// takes the write side (TryLock — skipped, not queued, while busy).
+	gate sync.RWMutex
 	nextID    atomic.Int64
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -315,8 +325,33 @@ func (s *Server) run(j *job, chk *circ.Checker, targets []circ.Target, timeout t
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	s.gate.RLock()
 	batch, err := chk.CheckTargets(ctx, j.prog, targets)
+	s.gate.RUnlock()
 	s.complete(j, batch, err)
+	s.maybeCompactArena()
+}
+
+// maybeCompactArena sweeps the expression arena after a job completes,
+// if enabled and the daemon is idle. The gate's write lock can only be
+// taken while no job holds the read side, so live analyses never see a
+// concurrent sweep; TryLock makes a busy daemon skip the pass rather
+// than stall the queue behind it.
+func (s *Server) maybeCompactArena() {
+	if !s.cfg.CompactArena {
+		return
+	}
+	if !s.gate.TryLock() {
+		return
+	}
+	defer s.gate.Unlock()
+	before := expr.Stats()
+	st := s.base.CompactArena()
+	s.log.Info("arena compacted",
+		"freed_nodes", before.Nodes-st.Nodes,
+		"freed_bytes", before.Bytes-st.Bytes,
+		"live_nodes", st.Nodes,
+		"compactions", st.Compactions)
 }
 
 // complete records a job's outcome: the polled job state, the ring's
@@ -416,6 +451,13 @@ func requestOptions(o *apiv1.Options) ([]circ.Option, time.Duration, error) {
 	}
 	if o.Parallelism > 0 {
 		opts = append(opts, circ.WithParallelism(o.Parallelism))
+	}
+	if o.Sched != "" {
+		sched, err := circ.ParseSched(o.Sched)
+		if err != nil {
+			return nil, 0, fmt.Errorf("options.sched: %v", err)
+		}
+		opts = append(opts, circ.WithScheduler(sched))
 	}
 	onoff := func(name, v string) (bool, bool, error) {
 		switch v {
@@ -635,6 +677,7 @@ func summaryOf(counts map[string]int) string {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	smtStats := s.base.SMTStats()
 	as := expr.Stats()
+	snap := s.reg.Snapshot()
 	st := apiv1.Stats{
 		Jobs: apiv1.JobStats{
 			Submitted: s.nJobs[cSubmitted].Load(),
@@ -647,12 +690,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bytes:          as.Bytes,
 			NodesHighWater: int64(as.NodesHighWater),
 			BytesHighWater: as.BytesHighWater,
+			Compactions:    int64(as.Compactions),
 		},
 		SMT: apiv1.SMTStats{
-			Hits:     smtStats.Hits,
-			Misses:   smtStats.Misses,
-			FastPath: smtStats.FastPath,
-			HitRate:  smtStats.HitRate(),
+			Hits:          smtStats.Hits,
+			Misses:        smtStats.Misses,
+			FastPath:      smtStats.FastPath,
+			HitRate:       smtStats.HitRate(),
+			ClausesShared: smtStats.ClausesShared,
+		},
+		Scheduler: apiv1.SchedulerStats{
+			Steals:            snap.Counters["reach.steal.count"],
+			WorkerIdleSeconds: float64(snap.Histograms["reach.worker.idle"].SumNanos) / 1e9,
 		},
 		Lifetime: s.lifetimeStats(),
 	}

@@ -18,6 +18,16 @@ const numShards = 64
 type cacheShard struct {
 	mu sync.RWMutex
 	m  map[expr.ID]Result
+	// inflight single-flights concurrent misses on the same formula:
+	// the first goroutine solves, the rest wait on done and read r — the
+	// "solved once and broadcast" half of the SMT portfolio. r is written
+	// before done is closed, so waiters read it race-free.
+	inflight map[expr.ID]*inflightSolve
+}
+
+type inflightSolve struct {
+	done chan struct{}
+	r    Result
 }
 
 // CachedChecker is a process-wide memoising SMT layer that is safe for
@@ -40,11 +50,18 @@ type CachedChecker struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	fastpath atomic.Int64 // queries folded to constants at intern time
+	shared   atomic.Int64 // pooled clauses replayed into sessions
+
+	// Shared-learning portfolio: per-formula learned-clause pools (see
+	// portfolio.go).
+	poolMu sync.Mutex
+	pools  map[expr.ID]*clausePool
 
 	// Telemetry, attached with Instrument. All handles are nil-safe, so an
 	// uninstrumented checker pays only nil checks.
 	cHits, cMisses, cFast  *telemetry.Counter
 	cSat, cUnsat, cUnknown *telemetry.Counter
+	cShared                *telemetry.Counter
 	hSolve                 *telemetry.Histogram
 	tracer                 *telemetry.Tracer
 }
@@ -61,6 +78,7 @@ func (c *CachedChecker) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer
 	c.cSat = reg.Counter("smt.sat")
 	c.cUnsat = reg.Counter("smt.unsat")
 	c.cUnknown = reg.Counter("smt.unknown")
+	c.cShared = reg.Counter("smt.portfolio.clauses_shared")
 	if reg != nil {
 		c.hSolve = reg.Histogram("smt.solve")
 	}
@@ -94,10 +112,11 @@ func (c *CachedChecker) instrumented(solve func() Result) Result {
 
 // CacheStats is a point-in-time view of a CachedChecker's counters.
 type CacheStats struct {
-	Hits     int64
-	Misses   int64
-	FastPath int64 // queries answered syntactically at intern time
-	Solver   Stats // underlying solve-path work (queries, theory checks)
+	Hits          int64
+	Misses        int64
+	FastPath      int64 // queries answered syntactically at intern time
+	ClausesShared int64 // pooled lemmas replayed into incremental sessions
+	Solver        Stats // underlying solve-path work (queries, theory checks)
 }
 
 // HitRate returns the fraction of cache-consulting queries answered from
@@ -124,10 +143,11 @@ func NewCachedChecker() *CachedChecker {
 // Stats returns a snapshot of the cache and solver counters.
 func (c *CachedChecker) Stats() CacheStats {
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		FastPath: c.fastpath.Load(),
-		Solver:   c.inner.Snapshot(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		FastPath:      c.fastpath.Load(),
+		ClausesShared: c.shared.Load(),
+		Solver:        c.inner.Snapshot(),
 	}
 }
 
@@ -158,6 +178,7 @@ func (c *CachedChecker) PublishStats(reg *telemetry.Registry) {
 	reg.Gauge("smt.cache.misses").Set(st.Misses)
 	reg.Gauge("smt.cache.fastpath").Set(st.FastPath)
 	reg.Gauge("smt.cache.size").Set(int64(c.CacheSize()))
+	reg.Gauge("smt.portfolio.clauses_shared").Set(st.ClausesShared)
 	reg.Gauge("smt.queries").Set(st.Solver.Queries)
 	reg.Gauge("smt.solver.cache_hits").Set(st.Solver.CacheHits)
 	reg.Gauge("smt.theory.checks").Set(st.Solver.TheoryChecks)
@@ -202,15 +223,41 @@ func (c *CachedChecker) SatID(id expr.ID) Result {
 		c.cHits.Inc()
 		return r
 	}
+	// Miss: single-flight the solve. Re-check under the write lock, then
+	// either join an in-flight solve of the same formula or become its
+	// leader. Followers count as hits — they do no solver work.
+	sh.mu.Lock()
+	if r, ok := sh.m[id]; ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.cHits.Inc()
+		return r
+	}
+	if f, ok := sh.inflight[id]; ok {
+		sh.mu.Unlock()
+		<-f.done
+		c.hits.Add(1)
+		c.cHits.Inc()
+		return f.r
+	}
+	f := &inflightSolve{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[expr.ID]*inflightSolve)
+	}
+	sh.inflight[id] = f
+	sh.mu.Unlock()
 	c.misses.Add(1)
 	c.cMisses.Inc()
 	r = c.instrumented(func() Result {
 		r, _ := c.inner.solve(id, false)
 		return r
 	})
+	f.r = r
 	sh.mu.Lock()
 	sh.m[id] = r
+	delete(sh.inflight, id)
 	sh.mu.Unlock()
+	close(f.done)
 	return r
 }
 
@@ -290,6 +337,11 @@ func (c *CachedChecker) NewSession(phi expr.ID) *Session {
 		solveFresh: func(id expr.ID) Result {
 			r, _ := c.inner.solve(id, false)
 			return r
+		},
+		getPool: func() *clausePool { return c.pool(phi) },
+		onShared: func(n int) {
+			c.shared.Add(int64(n))
+			c.cShared.Add(int64(n))
 		},
 	}
 }

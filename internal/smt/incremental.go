@@ -40,8 +40,17 @@ type Session struct {
 	// run wraps each incremental miss-solve, for instrumentation.
 	run func(func() Result) Result
 	// solveFresh performs an uninstrumented from-scratch solve (the
-	// deterministic fallback for incremental Unknowns).
+	// deterministic fallback for incremental Unknowns). It never sees the
+	// clause pool: Unknown re-derivation opts out of the portfolio so the
+	// cached verdict stays a pure function of the formula.
 	solveFresh func(expr.ID) Result
+	// getPool, when set, returns the shared learned-clause pool for phi
+	// (see portfolio.go). Resolved lazily on first real solve so sessions
+	// that are answered entirely from the cache never allocate a pool.
+	getPool func() *clausePool
+	// onShared observes the number of pooled clauses replayed into this
+	// session's solver.
+	onShared func(n int)
 
 	q       *query
 	started bool
@@ -126,6 +135,24 @@ func (s *Session) solveAssuming(lit expr.ID) Result {
 			return Unknown
 		} else if !ok {
 			s.baseBad = true
+		}
+		if !s.baseBad && s.getPool != nil {
+			// Portfolio attach: replay the lemmas earlier sessions on this
+			// phi learned, then capture our own conflicts into the pool.
+			pool := s.getPool()
+			replayed := 0
+			for _, cl := range pool.snapshot() {
+				if !s.q.replayClause(cl) {
+					// Valid lemmas made the database unsat: phi is unsat.
+					s.baseBad = true
+					break
+				}
+				replayed++
+			}
+			if replayed > 0 && s.onShared != nil {
+				s.onShared(replayed)
+			}
+			s.q.learnSink = pool.add
 		}
 	}
 	// Count the assumption query before any short-circuit: a baseBad

@@ -1,0 +1,155 @@
+package smt
+
+import (
+	"sync"
+	"testing"
+
+	"circ/internal/expr"
+)
+
+// conflictPhi returns a φ whose cube enumeration forces theory conflicts:
+// (x >= 5 || x <= 0). Asserting a cube like 1 <= x <= 4 makes every
+// boolean model theory-infeasible, so the DPLL(T) loop learns blocking
+// lemmas the portfolio can capture.
+func conflictPhi() expr.ID {
+	x := expr.V("x")
+	return expr.Intern(expr.Disj(expr.Ge(x, expr.Num(5)), expr.Le(x, expr.Num(0))))
+}
+
+func cubeLit(lo, hi int64) expr.ID {
+	x := expr.V("x")
+	return expr.Intern(expr.Conj(expr.Ge(x, expr.Num(lo)), expr.Le(x, expr.Num(hi))))
+}
+
+// TestPortfolioSharesClauses: a second session on the same φ replays the
+// lemmas the first session learned, and the counter records it.
+func TestPortfolioSharesClauses(t *testing.T) {
+	c := NewCachedChecker()
+	phi := conflictPhi()
+
+	s1 := c.NewSession(phi)
+	if got := s1.SatConj(cubeLit(1, 4)); got != Unsat {
+		t.Fatalf("phi && 1<=x<=4 = %v, want Unsat", got)
+	}
+	if got := s1.SatConj(cubeLit(6, 9)); got != Sat {
+		t.Fatalf("phi && 6<=x<=9 = %v, want Sat", got)
+	}
+	c.poolMu.Lock()
+	pool := c.pools[phi]
+	c.poolMu.Unlock()
+	if pool == nil || len(pool.snapshot()) == 0 {
+		t.Fatalf("no lemmas captured for phi after conflicting cubes")
+	}
+
+	// A fresh session on the same φ must replay the pool on its first
+	// real (cache-missing) solve.
+	s2 := c.NewSession(phi)
+	if got := s2.SatConj(cubeLit(2, 3)); got != Unsat {
+		t.Fatalf("phi && 2<=x<=3 = %v, want Unsat", got)
+	}
+	if st := c.Stats(); st.ClausesShared == 0 {
+		t.Fatalf("ClausesShared = 0 after second session, stats %+v", st)
+	}
+}
+
+// TestPortfolioVerdictsMatchPlain: with pools active, session verdicts
+// still agree with a from-scratch single-goroutine Checker on every
+// query — the portfolio must never flip a verdict.
+func TestPortfolioVerdictsMatchPlain(t *testing.T) {
+	c := NewCachedChecker()
+	phi := conflictPhi()
+	cubes := [][2]int64{{1, 4}, {6, 9}, {2, 3}, {-5, -1}, {0, 0}, {5, 5}, {4, 5}, {1, 1}}
+	// Interleave two sessions so both capture into and replay from the
+	// shared pool.
+	s1, s2 := c.NewSession(phi), c.NewSession(phi)
+	for i, cb := range cubes {
+		lit := cubeLit(cb[0], cb[1])
+		s := s1
+		if i%2 == 1 {
+			s = s2
+		}
+		got := s.SatConj(lit)
+		want := NewChecker().SatID(expr.IDConj(phi, lit))
+		if got != want {
+			t.Fatalf("cube [%d,%d]: session %v, plain %v", cb[0], cb[1], got, want)
+		}
+	}
+}
+
+// TestSingleFlightBroadcast: concurrent misses on one formula collapse
+// to a single solve whose result is broadcast to the waiters.
+func TestSingleFlightBroadcast(t *testing.T) {
+	c := NewCachedChecker()
+	x := expr.V("sfx")
+	id := expr.Intern(expr.Conj(expr.Gt(x, expr.Num(10)), expr.Lt(x, expr.Num(20))))
+
+	const goroutines = 8
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	results := make([]Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			results[g] = c.SatID(id)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	for g, r := range results {
+		if r != Sat {
+			t.Fatalf("goroutine %d: %v, want Sat", g, r)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single-flight)", st.Misses)
+	}
+	if st.Solver.Queries != 1 {
+		t.Fatalf("solver queries = %d, want 1", st.Solver.Queries)
+	}
+	if st.Hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+}
+
+// TestSweepDead: after an arena compaction, cached verdicts for
+// tombstoned formulas and stale clause pools are dropped, and live
+// entries survive.
+func TestSweepDead(t *testing.T) {
+	c := NewCachedChecker()
+	x := expr.V("swx")
+	liveID := expr.Intern(expr.Gt(x, expr.Num(100)))
+	deadID := expr.Intern(expr.Conj(expr.Gt(x, expr.Num(200)), expr.Lt(x, expr.Num(199))))
+	c.SatID(liveID)
+	c.SatID(deadID)
+	s := c.NewSession(conflictPhi())
+	s.SatConj(cubeLit(1, 4)) // populate a pool
+
+	expr.Compact([]expr.ID{liveID})
+	removed := c.SweepDead()
+	if removed == 0 {
+		t.Fatalf("SweepDead removed nothing")
+	}
+	sh := c.shard(liveID)
+	sh.mu.RLock()
+	_, liveKept := sh.m[liveID]
+	sh.mu.RUnlock()
+	if !liveKept {
+		t.Fatalf("live entry was swept")
+	}
+	sh = c.shard(deadID)
+	sh.mu.RLock()
+	_, deadKept := sh.m[deadID]
+	sh.mu.RUnlock()
+	if deadKept {
+		t.Fatalf("dead entry survived the sweep")
+	}
+	c.poolMu.Lock()
+	npools := len(c.pools)
+	c.poolMu.Unlock()
+	if npools != 0 {
+		t.Fatalf("%d stale pools survived the sweep", npools)
+	}
+}

@@ -12,14 +12,14 @@ import (
 // checkWithJournal runs one analysis of tasSrc with an attached flight
 // recorder at the given parallelism and returns the report plus the
 // serialized journal.
-func checkWithJournal(t *testing.T, parallel int) (*Report, []byte, *Journal) {
+func checkWithJournal(t *testing.T, parallel int, opts ...Option) (*Report, []byte, *Journal) {
 	t.Helper()
 	p, err := Parse(tasSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	j := NewJournal()
-	chk := NewChecker(WithJournal(j), WithParallelism(parallel))
+	chk := NewChecker(append([]Option{WithJournal(j), WithParallelism(parallel)}, opts...)...)
 	rep, err := chk.Check(context.Background(), p, "", "x")
 	if err != nil {
 		t.Fatal(err)
@@ -32,16 +32,21 @@ func checkWithJournal(t *testing.T, parallel int) (*Report, []byte, *Journal) {
 }
 
 // TestJournalDeterministic is the headline determinism guarantee: the
-// serialized journal is byte-identical whether reachability runs on one
-// worker or eight.
+// serialized journal is byte-identical at every parallelism, under both
+// the work-stealing and the level-synchronous scheduler.
 func TestJournalDeterministic(t *testing.T) {
-	_, seq, _ := checkWithJournal(t, 1)
-	_, par, _ := checkWithJournal(t, 8)
-	if !bytes.Equal(seq, par) {
-		t.Fatalf("journal differs between -parallel 1 and -parallel 8:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
-	}
-	if _, err := journal.Validate(bytes.NewReader(seq)); err != nil {
+	_, base, _ := checkWithJournal(t, 1)
+	if _, err := journal.Validate(bytes.NewReader(base)); err != nil {
 		t.Fatal(err)
+	}
+	for _, sched := range []Sched{SchedSteal, SchedLevel} {
+		for _, parallel := range []int{1, 2, 4, 8} {
+			_, got, _ := checkWithJournal(t, parallel, WithScheduler(sched))
+			if !bytes.Equal(base, got) {
+				t.Fatalf("journal differs: sched=%v parallel=%d vs sequential baseline:\n--- baseline ---\n%s--- sched=%v parallel=%d ---\n%s",
+					sched, parallel, base, sched, parallel, got)
+			}
+		}
 	}
 }
 
