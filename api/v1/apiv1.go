@@ -12,9 +12,16 @@
 //	GET  /v1/jobs/{id}        -> Job
 //	GET  /v1/jobs/{id}/events -> text/event-stream of journal events
 //	GET  /v1/jobs/{id}/report -> text/html flight-recorder report
+//	GET  /v1/jobs/{id}/trace  -> Chrome trace_event JSON (flight-deck trace)
 //	GET  /v1/stats            -> Stats
 //	GET  /metrics             -> Prometheus text exposition (format 0.0.4)
 //	GET  /debug/circ/ops      -> text/html ops dashboard
+//	GET  /debug/circ/slowlog  -> SlowLog (SMT slow-query ring)
+//
+// Every /v1 endpoint accepts a W3C traceparent request header; the
+// daemon joins the caller's distributed trace when one is supplied and
+// mints a fresh trace identity otherwise. The response carries the
+// resolved identity back in a traceparent header.
 //
 // Errors are returned as an Error body with a matching HTTP status.
 package apiv1
@@ -81,6 +88,12 @@ type SubmitResponse struct {
 	// this job, relative to the server root.
 	JobURL    string `json:"job_url"`
 	EventsURL string `json:"events_url"`
+	// TraceURL serves the job's flight-deck trace (Chrome trace_event
+	// JSON with per-worker scheduler lanes and SMT solve spans).
+	TraceURL string `json:"trace_url"`
+	// TraceID is the job's W3C trace ID: the caller's when the submit
+	// carried a valid traceparent header, daemon-minted otherwise.
+	TraceID string `json:"trace_id"`
 }
 
 // Job states.
@@ -108,6 +121,10 @@ type Job struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// ElapsedSeconds is the batch wall-clock time, once done.
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// TraceID is the job's W3C trace ID; TraceURL serves its flight-deck
+	// trace.
+	TraceID  string `json:"trace_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
 }
 
 // TargetResult is one target's verdict.
@@ -177,6 +194,12 @@ type JobSummary struct {
 	// behind the ops dashboard's watermark trend.
 	StoreBytes int64 `json:"store_bytes"`
 	ArenaBytes int64 `json:"arena_bytes"`
+	// TraceID is the job's W3C trace ID, correlating the ring record with
+	// logs, spans, and any caller-side distributed trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// TimelineSegments counts the scheduler timeline segments the job
+	// recorded (busy/idle/steal intervals across its worker lanes).
+	TimelineSegments int `json:"timeline_segments,omitempty"`
 }
 
 // JobList answers GET /v1/jobs: a page of the completed-job ring, newest
@@ -191,12 +214,23 @@ type JobList struct {
 
 // Stats is the daemon-wide /v1/stats snapshot.
 type Stats struct {
+	Build     BuildInfo      `json:"build"`
 	Jobs      JobStats       `json:"jobs"`
 	Arena     ArenaStats     `json:"arena"`
 	SMT       SMTStats       `json:"smt"`
 	Store     StoreStats     `json:"store"`
 	Scheduler SchedulerStats `json:"scheduler"`
 	Lifetime  LifetimeStats  `json:"lifetime"`
+}
+
+// BuildInfo identifies the running daemon: library version, Go
+// toolchain, default scheduler, and GOMAXPROCS. The same labels back the
+// circ_build_info gauge in /metrics.
+type BuildInfo struct {
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	Sched      string `json:"sched"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
 // JobStats counts submissions by outcome. Active is the number of jobs
@@ -234,6 +268,11 @@ type SMTStats struct {
 	// ClausesShared counts learned clauses replayed into a session from
 	// another session's conflict analysis over the same formula.
 	ClausesShared int64 `json:"clauses_shared"`
+	// SlowQueries counts solves that exceeded the -smt-slowlog threshold;
+	// SlowLogThresholdMS is the active threshold (0: capture disabled).
+	// The entries themselves are served at /debug/circ/slowlog.
+	SlowQueries        int64   `json:"slow_queries"`
+	SlowLogThresholdMS float64 `json:"slowlog_threshold_ms,omitempty"`
 }
 
 // SchedulerStats describes the work-stealing reachability scheduler,
@@ -290,6 +329,35 @@ type LatencyQuantiles struct {
 	P50Seconds float64 `json:"p50_seconds"`
 	P95Seconds float64 `json:"p95_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// SlowLog answers GET /debug/circ/slowlog: the retained SMT slow-query
+// entries, newest first. Entry fields mirror the checker's slow-query
+// record: sequence number, capture time, interned formula ID, query kind
+// ("direct" or "session"), the session's cube key, duration, result, and
+// the clause-sharing traffic attributable to the solve.
+type SlowLog struct {
+	// ThresholdMS is the active capture threshold (0: disabled).
+	ThresholdMS float64 `json:"threshold_ms"`
+	// Total counts slow queries ever recorded, including entries the
+	// bounded ring has since overwritten.
+	Total int64 `json:"total"`
+	// Entries is the retained ring, newest first.
+	Entries []SlowQueryEntry `json:"entries"`
+}
+
+// SlowQueryEntry is one captured slow SMT solve.
+type SlowQueryEntry struct {
+	Seq             int64     `json:"seq"`
+	At              time.Time `json:"at"`
+	FormulaID       uint64    `json:"formula_id"`
+	Kind            string    `json:"kind"`
+	CubeKey         string    `json:"cube_key,omitempty"`
+	DurationMS      float64   `json:"duration_ms"`
+	Result          string    `json:"result"`
+	ClausesReplayed int       `json:"clauses_replayed,omitempty"`
+	ClausesLearned  int       `json:"clauses_learned,omitempty"`
+	TraceID         string    `json:"trace_id,omitempty"`
 }
 
 // Error is the JSON error body accompanying every non-2xx response.

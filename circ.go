@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"time"
 
 	"circ/internal/cfa"
 	icirc "circ/internal/circ"
@@ -117,6 +118,11 @@ type (
 
 // NewTracer returns a span tracer whose timebase starts now.
 func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// Version is the library's own version string, reported by the daemon's
+// build-info gauge and startup log. It tracks the repository's release
+// tags; builds from source carry the most recent tag.
+const Version = "0.9.0"
 
 // Flight-recorder surface (implemented in internal/journal).
 type (
@@ -273,6 +279,29 @@ func WithLogger(h slog.Handler) Option {
 // or Perfetto). A nil tracer (the default) costs nothing on the hot path.
 func WithTracer(tr *Tracer) Option { return func(c *Checker) { c.tracer = tr } }
 
+// WithSMTSlowLog enables the SMT slow-query log: solver misses taking at
+// least threshold are captured — formula ID, cube key, duration, result,
+// clauses replayed/learned — into a bounded ring shared by every Checker
+// derived from this one, readable with SlowQueries. Zero (the default)
+// disables capture.
+func WithSMTSlowLog(threshold time.Duration) Option {
+	return func(c *Checker) { c.solver.SetSlowQueryThreshold(threshold) }
+}
+
+// SlowQuery is one captured slow SMT solve; see WithSMTSlowLog.
+type SlowQuery = smt.SlowQuery
+
+// SlowQueries returns the retained slow-query log entries, newest first.
+// Empty until a threshold is set with WithSMTSlowLog.
+func (c *Checker) SlowQueries() []SlowQuery { return c.solver.SlowQueries() }
+
+// SMTSlowLogThreshold returns the active slow-query threshold (0 when
+// capture is disabled).
+func (c *Checker) SMTSlowLogThreshold() time.Duration { return c.solver.SlowQueryThreshold() }
+
+// Scheduler returns the configured reachability scheduler.
+func (c *Checker) Scheduler() Sched { return c.sched }
+
 // WithParallelism bounds the worker pool: frontier states of one
 // reachability run and (thread, variable) pairs of a batch run are
 // expanded by at most n workers. n <= 0 selects GOMAXPROCS (the default).
@@ -378,8 +407,11 @@ func NewChecker(opts ...Option) *Checker {
 // SMT solver cache, metrics registry, and certificate store — the
 // process-wide state a long-running service amortizes across requests —
 // while per-request settings (k, omega, budgets, parallelism, journal,
-// logger) may be overridden freely. Overriding the tracer or registry on
-// a derived Checker is not supported; attach those to the root Checker.
+// logger, tracer) may be overridden freely. Overriding the tracer
+// re-binds the shared solver's span sink to the new tracer (a cheap view
+// over the same verdict cache), which is how circd gives every job its
+// own flight-deck trace. Overriding the registry on a derived Checker is
+// not supported; attach it to the root Checker.
 func (c *Checker) Derive(opts ...Option) *Checker {
 	d := *c
 	for _, o := range opts {
@@ -387,6 +419,9 @@ func (c *Checker) Derive(opts ...Option) *Checker {
 	}
 	if d.parallelism <= 0 {
 		d.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if d.tracer != c.tracer {
+		d.solver = c.solver.WithTracer(d.tracer)
 	}
 	return &d
 }

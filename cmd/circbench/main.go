@@ -53,6 +53,7 @@ var (
 	jsonlOut   = flag.String("journal", "", "write the structured inference journal (JSONL) to this file")
 	htmlOut    = flag.String("report", "", "write a self-contained HTML report of every analysis to this file")
 	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, expvar, and /debug/circ on this address (e.g. localhost:6060)")
+	smtSlowLog = flag.Duration("smt-slowlog", 100*time.Millisecond, "SMT slow-query threshold for the -bench legs (0: disable)")
 )
 
 // triageFlag/sliceFlag are the -bench escape hatches for the engine's
@@ -479,6 +480,15 @@ type benchRow struct {
 	Steals        int64   `json:"steals"`
 	IdleMillis    float64 `json:"idle_ms"`
 	ClausesShared int64   `json:"clauses_shared"`
+	// Per-worker idle distribution of the parallel run, from the scheduler
+	// timeline: the busiest-waiting worker's idle total and the median
+	// worker's, in milliseconds. A large max/p50 gap means the steal
+	// scheduler left some workers starved.
+	IdleMaxMillis float64 `json:"idle_ms_max"`
+	IdleP50Millis float64 `json:"idle_ms_p50"`
+	// SlowQueries counts the parallel run's SMT solves at or above the
+	// -smt-slowlog threshold.
+	SlowQueries int64 `json:"slow_queries"`
 }
 
 type benchReport struct {
@@ -499,10 +509,30 @@ type benchReport struct {
 	// over every parallel run) as millisecond quantiles, keyed by
 	// histogram name ("smt.solve", "bisim.collapse", ...).
 	PhaseLatency map[string]quantilesMs `json:"phase_latency_ms"`
+	// SlowQueries totals the parallel legs' SMT solves at or above the
+	// -smt-slowlog threshold.
+	SlowQueries int64 `json:"slow_queries"`
 	// Metrics is the merged telemetry snapshot of every parallel run:
 	// engine counters (reach.*, bisim.*, refine.*, smt.*) summed across
 	// benchmark cases.
 	Metrics telemetry.Metrics `json:"metrics"`
+}
+
+// idleSpread reduces a run's scheduler timeline to the per-worker idle
+// distribution: the maximum and median of each lane's idle total, in
+// milliseconds. Zero lanes (a sequential run records no timeline
+// segments) yields zeros.
+func idleSpread(tl *telemetry.Timeline) (maxMs, p50Ms float64) {
+	byLane := tl.IdleByLane()
+	if len(byLane) == 0 {
+		return 0, 0
+	}
+	totals := make([]float64, 0, len(byLane))
+	for _, d := range byLane {
+		totals = append(totals, float64(d)/1e6)
+	}
+	sort.Float64s(totals)
+	return totals[len(totals)-1], totals[len(totals)/2]
 }
 
 // quantilesMs renders one histogram's latency quantiles in milliseconds.
@@ -560,11 +590,16 @@ func benchCases() []benchCase {
 
 // runOnce batch-checks src with the given parallelism on a fresh checker
 // (fresh SMT cache, so sequential and parallel runs measure the same
-// work).
-func runOnce(src string, par int) (*circ.BatchReport, error) {
-	return circ.CheckAllRaces(context.Background(), src,
+// work). The returned timeline carries the run's per-worker
+// busy/idle/steal segments.
+func runOnce(src string, par int) (*circ.BatchReport, *telemetry.Timeline, error) {
+	tl := telemetry.NewTimeline(telemetry.DefaultTimelineCap)
+	ctx := telemetry.WithTimeline(context.Background(), tl)
+	rep, err := circ.CheckAllRaces(ctx, src,
 		circ.WithParallelism(par), circ.WithScheduler(sched), circ.WithTracer(tracer),
-		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
+		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)),
+		circ.WithSMTSlowLog(*smtSlowLog))
+	return rep, tl, err
 }
 
 // runWarm measures incremental re-checking: the same program is checked
@@ -612,14 +647,14 @@ func runBench() {
 	// registry so BENCH_parallel.json carries the aggregate.
 	breg := telemetry.ChildOf(reg)
 	for _, bc := range benchCases() {
-		seq, err := runOnce(bc.Source, 1)
+		seq, _, err := runOnce(bc.Source, 1)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(sequential):", err)
 			os.Exit(1)
 		}
 		var msBefore, msAfter runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
-		parRep, err := runOnce(bc.Source, par)
+		parRep, parTL, err := runOnce(bc.Source, par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(parallel):", err)
 			os.Exit(1)
@@ -650,7 +685,10 @@ func runBench() {
 			Steals:             parRep.Metrics.Counter("reach.steal.count"),
 			IdleMillis:         float64(parRep.Metrics.Histograms["reach.worker.idle"].SumNanos) / 1e6,
 			ClausesShared:      parRep.Metrics.Counter("smt.portfolio.clauses_shared"),
+			SlowQueries:        parRep.SMT.SlowQueries,
 		}
+		row.IdleMaxMillis, row.IdleP50Millis = idleSpread(parTL)
+		report.SlowQueries += row.SlowQueries
 		if queries := row.CacheHits + row.CacheMisses + row.FastPath; queries > 0 {
 			row.AllocsPerQuery = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(queries)
 			row.BytesPerQuery = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(queries)

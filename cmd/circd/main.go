@@ -6,6 +6,7 @@
 //	circd [-addr :8723] [-jobs N] [-parallel N] [-job-timeout 5m]
 //	      [-drain-timeout 30s] [-store-max-entries N] [-k N] [-omega]
 //	      [-sched steal|level] [-compact-arena] [-triage on|off] [-slice on|off]
+//	      [-smt-slowlog 100ms]
 //
 // One process holds the hash-consing arena, the shared SMT verdict
 // cache, and the content-addressed certificate store across requests, so
@@ -18,7 +19,9 @@
 //	curl -s localhost:8723/v1/jobs/j000001                    # poll
 //	curl -s localhost:8723/v1/jobs                            # completed-job ring
 //	curl -s localhost:8723/v1/jobs/j000001/events             # live SSE journal
+//	curl -s localhost:8723/v1/jobs/j000001/trace              # Chrome trace_event JSON
 //	curl -s localhost:8723/v1/stats                           # cache telemetry
+//	curl -s localhost:8723/debug/circ/slowlog                 # SMT slow-query log
 //	curl -s localhost:8723/metrics                            # Prometheus exposition
 //	curl -s localhost:8723/debug/circ/ops                     # HTML ops dashboard
 //
@@ -36,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -86,6 +90,7 @@ func run(args []string) int {
 		omega        = fs.Bool("omega", false, "default to the omega-CIRC variant")
 		schedName    = fs.String("sched", "steal", "default reachability scheduler: steal or level")
 		compactArena = fs.Bool("compact-arena", false, "compact the expression arena whenever the daemon goes idle")
+		smtSlowLog   = fs.Duration("smt-slowlog", 100*time.Millisecond, "log SMT solves at or above this duration to /debug/circ/slowlog (0: disable)")
 		quiet        = fs.Bool("quiet", false, "suppress request and job logs")
 	)
 	triage, slice := onoff(true), onoff(true)
@@ -117,7 +122,14 @@ func run(args []string) int {
 		circ.WithK(*k), circ.WithOmega(*omega), circ.WithParallelism(*parallel),
 		circ.WithScheduler(sched),
 		circ.WithTriage(bool(triage)), circ.WithSlicing(bool(slice)),
+		circ.WithSMTSlowLog(*smtSlowLog),
 	)
+	if logger != nil {
+		logger.Info("circd starting",
+			"version", circ.Version, "go", runtime.Version(),
+			"sched", sched.String(), "gomaxprocs", runtime.GOMAXPROCS(0),
+			"smt_slowlog", smtSlowLog.String())
+	}
 	srv := server.New(server.Config{
 		Checker:       chk,
 		MaxConcurrent: *jobs,

@@ -1,27 +1,48 @@
 // Command validate checks a JSONL inference journal (the output of
 // circ -journal) against the event schema: known event types, required
 // per-type fields, and strictly increasing per-case sequence numbers.
+// It also validates the journal-adjacent flight-deck artifacts: Chrome
+// trace_event exports (-trace) and SMT slow-query logs (-slowlog).
 //
 // Usage:
 //
 //	go run ./internal/journal/cmd/validate out.jsonl [more.jsonl ...]
 //	circ ... -journal /dev/stdout | go run ./internal/journal/cmd/validate
+//	go run ./internal/journal/cmd/validate -trace job.trace.json
+//	go run ./internal/journal/cmd/validate -slowlog slowlog.json
 //
 // Exit status 0 when every file validates, 1 otherwise.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"circ/internal/journal"
 )
 
 func main() {
-	args := os.Args[1:]
+	asTrace := flag.Bool("trace", false, "validate Chrome trace_event JSON instead of a journal")
+	asSlowLog := flag.Bool("slowlog", false, "validate an SMT slow-query log instead of a journal")
+	flag.Parse()
+	if *asTrace && *asSlowLog {
+		fmt.Fprintln(os.Stderr, "validate: -trace and -slowlog are mutually exclusive")
+		os.Exit(1)
+	}
+	validate, unit := journal.Validate, "events"
+	switch {
+	case *asTrace:
+		validate, unit = journal.ValidateTrace, "trace events"
+	case *asSlowLog:
+		validate, unit = journal.ValidateSlowLog, "slow queries"
+	}
+
+	args := flag.Args()
 	if len(args) == 0 {
-		n, err := journal.Validate(os.Stdin)
-		if !report("stdin", n, err) {
+		n, err := validate(os.Stdin)
+		if !report("stdin", unit, n, err) {
 			os.Exit(1)
 		}
 		return
@@ -33,9 +54,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "validate:", err)
 			os.Exit(1)
 		}
-		n, err := journal.Validate(f)
+		n, err := validate(f)
 		f.Close()
-		if !report(path, n, err) {
+		if !report(path, unit, n, err) {
 			bad = true
 		}
 	}
@@ -44,11 +65,13 @@ func main() {
 	}
 }
 
-func report(name string, n int, err error) bool {
+var _ func(io.Reader) (int, error) = journal.Validate // the three validators share this shape
+
+func report(name, unit string, n int, err error) bool {
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "validate: %s: %v (after %d valid events)\n", name, err, n)
+		fmt.Fprintf(os.Stderr, "validate: %s: %v (after %d valid %s)\n", name, err, n, unit)
 		return false
 	}
-	fmt.Printf("%s: %d events, schema OK\n", name, n)
+	fmt.Printf("%s: %d %s, schema OK\n", name, n, unit)
 	return true
 }

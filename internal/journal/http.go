@@ -3,7 +3,14 @@ package journal
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 )
+
+// heartbeatInterval paces the SSE comment frames keeping an idle event
+// stream alive through proxies and load balancers that reap quiet
+// connections. Comment frames (": ...") are invisible to EventSource
+// clients. Package variable so tests can shrink it.
+var heartbeatInterval = 15 * time.Second
 
 // Mount registers the live-progress endpoints on mux, next to the -pprof
 // handlers when mux is http.DefaultServeMux:
@@ -63,10 +70,17 @@ func (r *Recorder) ServeEvents(w http.ResponseWriter, req *http.Request) {
 	if r == nil {
 		return
 	}
+	heartbeat := time.NewTicker(heartbeatInterval)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case <-req.Context().Done():
 			return
+		case <-heartbeat.C:
+			if _, err := w.Write([]byte(": heartbeat\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
 		case e := <-live:
 			if !write(e) {
 				return

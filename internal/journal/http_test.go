@@ -112,3 +112,44 @@ func TestServeEvents(t *testing.T) {
 	// hang on a leaked handler otherwise).
 	cancel()
 }
+
+// TestServeEventsHeartbeat: an idle live stream emits SSE comment frames
+// so intermediaries don't reap the connection.
+func TestServeEventsHeartbeat(t *testing.T) {
+	old := heartbeatInterval
+	heartbeatInterval = 10 * time.Millisecond
+	t.Cleanup(func() { heartbeatInterval = old })
+
+	r := New()
+	r.Stream("c").Emit(Event{Type: EvCaseStarted})
+	mux := http.NewServeMux()
+	Mount(mux, r)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/debug/circ/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// No further events are emitted: every frame after the replay is a
+	// heartbeat comment.
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ":") {
+			return // heartbeat observed on an otherwise idle stream
+		}
+		if line != "" && !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("unexpected frame %q", line)
+		}
+	}
+	t.Fatalf("stream ended without a heartbeat: %v", sc.Err())
+}

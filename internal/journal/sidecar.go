@@ -1,0 +1,121 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sidecar validation: schema checks for the flight-deck artifacts that
+// travel alongside the journal — the per-job Chrome trace_event export
+// and the SMT slow-query log. Both are wall-clock side channels, so
+// validation checks structure, identity stamping, and internal
+// consistency, never byte content.
+
+// sidecarTrace mirrors the trace_event JSON object shape loosely: every
+// field the validator checks, nothing more, so exporter additions do not
+// break old validators.
+type sidecarTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// ValidateTrace checks a Chrome trace_event JSON export: the traceEvents
+// array exists, every event has a name and a known phase, timestamps and
+// durations are non-negative, and — when otherData carries a trace_id —
+// every non-metadata event is stamped with that same ID. It returns the
+// event count.
+func ValidateTrace(r io.Reader) (int, error) {
+	var t sidecarTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return 0, fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	if t.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	traceID := t.OtherData["trace_id"]
+	for i, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return i, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X", "i", "M":
+		default:
+			return i, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return i, fmt.Errorf("trace: event %d (%s) has negative ts/dur", i, ev.Name)
+		}
+		if traceID != "" && ev.Ph != "M" {
+			got, _ := ev.Args["trace_id"].(string)
+			if got != traceID {
+				return i, fmt.Errorf("trace: event %d (%s) trace_id %q != file trace_id %q",
+					i, ev.Name, got, traceID)
+			}
+		}
+	}
+	return len(t.TraceEvents), nil
+}
+
+// sidecarSlowLog mirrors the /debug/circ/slowlog response shape.
+type sidecarSlowLog struct {
+	ThresholdMS float64 `json:"threshold_ms"`
+	Total       int64   `json:"total"`
+	Entries     []struct {
+		Seq        int64   `json:"seq"`
+		Kind       string  `json:"kind"`
+		FormulaID  uint64  `json:"formula_id"`
+		DurationMS float64 `json:"duration_ms"`
+		Result     string  `json:"result"`
+	} `json:"entries"`
+}
+
+// ValidateSlowLog checks a slow-query log (the /debug/circ/slowlog
+// body): entries carry positive sequence numbers in strictly descending
+// (newest-first) order, a known kind and result, and durations at or
+// above the stated threshold. It returns the entry count.
+func ValidateSlowLog(r io.Reader) (int, error) {
+	var l sidecarSlowLog
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&l); err != nil {
+		return 0, fmt.Errorf("slowlog: not a JSON object: %w", err)
+	}
+	if l.Total < int64(len(l.Entries)) {
+		return 0, fmt.Errorf("slowlog: total %d < %d retained entries", l.Total, len(l.Entries))
+	}
+	prev := int64(0)
+	for i, e := range l.Entries {
+		if e.Seq <= 0 {
+			return i, fmt.Errorf("slowlog: entry %d has non-positive seq %d", i, e.Seq)
+		}
+		if prev != 0 && e.Seq >= prev {
+			return i, fmt.Errorf("slowlog: entry %d out of order: seq %d after %d (want newest first)",
+				i, e.Seq, prev)
+		}
+		prev = e.Seq
+		switch e.Kind {
+		case "direct", "session":
+		default:
+			return i, fmt.Errorf("slowlog: entry %d has unknown kind %q", i, e.Kind)
+		}
+		switch e.Result {
+		case "sat", "unsat", "unknown":
+		default:
+			return i, fmt.Errorf("slowlog: entry %d has unknown result %q", i, e.Result)
+		}
+		if l.ThresholdMS > 0 && e.DurationMS < l.ThresholdMS {
+			return i, fmt.Errorf("slowlog: entry %d duration %.3fms below threshold %.3fms",
+				i, e.DurationMS, l.ThresholdMS)
+		}
+	}
+	return len(l.Entries), nil
+}

@@ -1,0 +1,78 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTrace(t *testing.T) {
+	good := `{
+	 "traceEvents": [
+	  {"name": "thread_name", "ph": "M", "pid": 1, "tid": 3, "args": {"name": "reach.worker.00"}},
+	  {"name": "smt.solve", "ph": "X", "ts": 1.5, "dur": 2.0, "pid": 1, "tid": 1,
+	   "args": {"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"}},
+	  {"name": "steal", "ph": "i", "s": "t", "ts": 2.0, "dur": 0, "pid": 1, "tid": 3,
+	   "args": {"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"}}
+	 ],
+	 "displayTimeUnit": "ms",
+	 "otherData": {"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba902b7"}
+	}`
+	if n, err := ValidateTrace(strings.NewReader(good)); err != nil || n != 3 {
+		t.Fatalf("ValidateTrace = %d, %v", n, err)
+	}
+
+	for name, bad := range map[string]string{
+		"not json":      `[]`,
+		"no events":     `{"displayTimeUnit": "ms"}`,
+		"unknown phase": `{"traceEvents": [{"name": "x", "ph": "Q", "ts": 0, "dur": 0}]}`,
+		"nameless":      `{"traceEvents": [{"ph": "X", "ts": 0, "dur": 0}]}`,
+		"negative ts":   `{"traceEvents": [{"name": "x", "ph": "X", "ts": -1, "dur": 0}]}`,
+		"unstamped event": `{
+		 "traceEvents": [{"name": "x", "ph": "X", "ts": 0, "dur": 0}],
+		 "otherData": {"trace_id": "abc"}
+		}`,
+		"wrong trace id": `{
+		 "traceEvents": [{"name": "x", "ph": "X", "ts": 0, "dur": 0, "args": {"trace_id": "def"}}],
+		 "otherData": {"trace_id": "abc"}
+		}`,
+	} {
+		if _, err := ValidateTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateSlowLog(t *testing.T) {
+	good := `{
+	 "threshold_ms": 1,
+	 "total": 5,
+	 "entries": [
+	  {"seq": 5, "formula_id": 9, "kind": "session", "duration_ms": 2.5, "result": "unsat"},
+	  {"seq": 3, "formula_id": 7, "kind": "direct", "duration_ms": 1.0, "result": "sat"}
+	 ]
+	}`
+	if n, err := ValidateSlowLog(strings.NewReader(good)); err != nil || n != 2 {
+		t.Fatalf("ValidateSlowLog = %d, %v", n, err)
+	}
+	empty := `{"threshold_ms": 0, "total": 0, "entries": []}`
+	if n, err := ValidateSlowLog(strings.NewReader(empty)); err != nil || n != 0 {
+		t.Fatalf("empty log = %d, %v", n, err)
+	}
+
+	for name, bad := range map[string]string{
+		"not json":        `[]`,
+		"total too small": `{"total": 0, "entries": [{"seq": 1, "kind": "direct", "duration_ms": 1, "result": "sat"}]}`,
+		"zero seq":        `{"total": 1, "entries": [{"seq": 0, "kind": "direct", "duration_ms": 1, "result": "sat"}]}`,
+		"out of order": `{"total": 2, "entries": [
+		 {"seq": 1, "kind": "direct", "duration_ms": 1, "result": "sat"},
+		 {"seq": 2, "kind": "direct", "duration_ms": 1, "result": "sat"}]}`,
+		"bad kind":   `{"total": 1, "entries": [{"seq": 1, "kind": "weird", "duration_ms": 1, "result": "sat"}]}`,
+		"bad result": `{"total": 1, "entries": [{"seq": 1, "kind": "direct", "duration_ms": 1, "result": "maybe"}]}`,
+		"below threshold": `{"threshold_ms": 5, "total": 1, "entries": [
+		 {"seq": 1, "kind": "direct", "duration_ms": 1, "result": "sat"}]}`,
+	} {
+		if _, err := ValidateSlowLog(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -138,6 +138,7 @@ func ReachAndBuild(ctx context.Context, C *cfa.CFA, A *acfa.ACFA, abs *pred.Abst
 		e.hIdle = reg.Histogram("reach.worker.idle")
 	}
 	e.j = journal.FromContext(ctx)
+	e.tl = telemetry.TimelineFromContext(ctx)
 	ctx, sp := telemetry.StartSpan(ctx, "reach")
 	res, err := e.run(ctx)
 	if res != nil {
@@ -229,6 +230,12 @@ type explorer struct {
 	cSteals                  *telemetry.Counter
 	gFrontier                *telemetry.Gauge
 	hIdle                    *telemetry.Histogram
+
+	// tl, when a flight-deck timeline rides in on the context, receives
+	// per-worker busy/idle/steal segments from the steal scheduler. Like
+	// the journal it is carried alongside the verdict path: segments are
+	// wall-clock observations and never feed back into exploration.
+	tl *telemetry.Timeline
 
 	// j records counter-widening events; emission happens only in the
 	// sequential merge phase, so the journal stays deterministic at any

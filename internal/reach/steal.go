@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"circ/internal/acfa"
+	"circ/internal/telemetry"
 )
 
 // Deterministic work-stealing scheduler.
@@ -153,16 +154,37 @@ func (p *stealPool) expand(sl *slot) {
 	atomic.StoreInt32(&sl.status, slotDone)
 }
 
+// workerLane names a worker's flight-deck timeline lane. The per-worker
+// index is stable across the reach runs of one job, so segments from
+// every phase of the job coalesce onto one lane per worker slot.
+func workerLane(id int) string {
+	return fmt.Sprintf("reach.worker.%02d", id)
+}
+
 func (p *stealPool) worker(id int) {
 	defer p.wg.Done()
+	// Flight-deck timeline: one busy segment per work burst (first claim
+	// after a park until the deques run dry) and one idle segment per
+	// park, bounded by the timeline's own cap. With no timeline attached
+	// the loop pays a nil check per iteration, nothing more.
+	tl := p.e.tl
+	var lane string
+	if tl != nil {
+		lane = workerLane(id)
+	}
+	var busyStart time.Time // zero: not in a work burst
 	var myGen uint64
 	for {
 		sl := p.deqs[id].popTail()
 		if sl == nil {
-			sl = p.steal(id)
+			sl = p.steal(id, lane)
 		}
 		if sl == nil {
 			idle := time.Now()
+			if tl != nil && !busyStart.IsZero() {
+				tl.Record(lane, telemetry.SegBusy, busyStart, idle.Sub(busyStart))
+				busyStart = time.Time{}
+			}
 			p.mu.Lock()
 			for !p.stop && p.pubGen == myGen {
 				p.workCond.Wait()
@@ -170,13 +192,18 @@ func (p *stealPool) worker(id int) {
 			myGen = p.pubGen
 			stop := p.stop
 			p.mu.Unlock()
-			p.e.hIdle.Observe(time.Since(idle))
+			idleDur := time.Since(idle)
+			p.e.hIdle.Observe(idleDur)
+			tl.Record(lane, telemetry.SegIdle, idle, idleDur)
 			if stop {
 				return
 			}
 			continue
 		}
 		if atomic.CompareAndSwapInt32(&sl.status, slotEmpty, slotClaimed) {
+			if tl != nil && busyStart.IsZero() {
+				busyStart = time.Now()
+			}
 			p.expand(sl)
 			p.mu.Lock()
 			p.doneCond.Broadcast()
@@ -185,11 +212,16 @@ func (p *stealPool) worker(id int) {
 	}
 }
 
-// steal takes the oldest slot from another worker's deque.
-func (p *stealPool) steal(id int) *slot {
+// steal takes the oldest slot from another worker's deque. A successful
+// steal leaves an instant mark on the thief's timeline lane, so steal
+// traffic is attributable per worker in the trace view.
+func (p *stealPool) steal(id int, lane string) *slot {
 	for i := 1; i < len(p.deqs); i++ {
 		if sl := p.deqs[(id+i)%len(p.deqs)].popHead(); sl != nil {
 			p.e.cSteals.Inc()
+			if lane != "" {
+				p.e.tl.Mark(lane, telemetry.SegSteal)
+			}
 			return sl
 		}
 	}

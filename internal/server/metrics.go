@@ -73,6 +73,12 @@ func (s *Server) snapshotMetrics() telemetry.Metrics {
 		m.Gauges = make(map[string]int64)
 	}
 
+	// Build identity: the standard constant-1 gauge whose labels say what
+	// is running. Dashboards join it against everything else by instance.
+	bi := s.buildInfo()
+	m.Gauges[fmt.Sprintf(`build_info{version=%q,go=%q,sched=%q,gomaxprocs="%d"}`,
+		bi.Version, bi.GoVersion, bi.Sched, bi.GOMAXPROCS)] = 1
+
 	// Job ledger. "submitted" counts accepted jobs; active is derived.
 	sub, done := s.nJobs[cSubmitted].Load(), s.nJobs[cDone].Load()
 	failed, cancelled := s.nJobs[cFailed].Load(), s.nJobs[cCancelled].Load()

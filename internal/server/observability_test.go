@@ -75,6 +75,12 @@ func normalizeExposition(b []byte) []byte {
 			out.WriteByte('\n')
 			continue
 		}
+		// build_info's labels (go toolchain, gomaxprocs) vary by
+		// environment; keep the family, normalize the label set.
+		if strings.HasPrefix(line, "circ_build_info{") {
+			out.WriteString("circ_build_info{LABELS} V\n")
+			continue
+		}
 		keep := false
 		for _, pfx := range deterministicSeries {
 			if strings.HasPrefix(line, pfx) {

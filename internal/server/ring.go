@@ -125,7 +125,9 @@ func summarizeJob(j *job) apiv1.JobSummary {
 		Error:       j.errMsg,
 		SubmittedAt: j.sub,
 		Summary:     j.summary,
+		TraceID:     j.tc.TraceID,
 	}
+	rec.TimelineSegments = j.timeline.Len()
 	if j.done != nil {
 		rec.FinishedAt = *j.done
 	}

@@ -88,11 +88,14 @@ type Server struct {
 	// the read side for the duration of CheckTargets, and the sweeper
 	// takes the write side (TryLock — skipped, not queued, while busy).
 	gate sync.RWMutex
-	nextID    atomic.Int64
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string // insertion order, for eviction
-	nJobs     [4]atomic.Int64
+	// lanes retains the most recent completed job's scheduler timeline
+	// for the ops dashboard's worker-lane view.
+	lanes  laneView
+	nextID atomic.Int64
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for eviction
+	nJobs  [4]atomic.Int64
 }
 
 // job-outcome counters in Server.nJobs.
@@ -105,22 +108,31 @@ const (
 
 // job is one submission's full state. All mutable fields are guarded by
 // mu; the journal is internally synchronised and is read concurrently by
-// the SSE endpoint while the job runs.
+// the SSE endpoint while the job runs. The tracer, timeline, and trace
+// context are set once at submission and internally synchronised, so the
+// trace endpoint reads them without j.mu.
 type job struct {
-	id      string
-	mu      sync.Mutex
-	state   string
-	errMsg  string
-	sub     time.Time
-	started *time.Time
-	done    *time.Time
-	elapsed time.Duration
-	results []apiv1.TargetResult
-	summary string
-	batch   *circ.BatchReport
-	prog    *circ.Program
-	journal *circ.Journal
+	id       string
+	tc       telemetry.TraceContext
+	tracer   *telemetry.Tracer
+	timeline *telemetry.Timeline
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	sub      time.Time
+	started  *time.Time
+	done     *time.Time
+	elapsed  time.Duration
+	results  []apiv1.TargetResult
+	summary  string
+	batch    *circ.BatchReport
+	prog     *circ.Program
+	journal  *circ.Journal
 }
+
+// maxTraceSpans bounds each job's recorded spans so a pathological job
+// cannot grow its flight-deck trace without bound.
+const maxTraceSpans = 16384
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
@@ -163,9 +175,11 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/jobs/{id}", s.handleJob)
 	s.handle("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.handle("GET /v1/jobs/{id}/report", s.handleReport)
+	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /debug/circ/ops", s.handleOps)
+	s.handle("GET /debug/circ/slowlog", s.handleSlowlog)
 	return s
 }
 
@@ -257,25 +271,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.JobTimeout
 	}
 
+	// Trace identity: join the caller's distributed trace when the submit
+	// carries a valid W3C traceparent header, mint a fresh one otherwise.
+	// Every span the job records, every slog line about it, and its ring
+	// record carry the resolved trace ID.
+	tc := telemetry.ContextFromTraceParent(r.Header.Get("traceparent"))
+	tr := telemetry.NewTracer()
+	tr.SetTraceContext(tc)
+	tr.SetMaxSpans(maxTraceSpans)
+	tl := telemetry.NewTimelineAt(tr.StartTime(), telemetry.DefaultTimelineCap)
+
 	jr := circ.NewJournal()
-	chk := s.base.Derive(append(opts, circ.WithJournal(jr))...)
+	chk := s.base.Derive(append(opts, circ.WithJournal(jr), circ.WithTracer(tr))...)
 	j := &job{
-		id:      fmt.Sprintf("j%06d", s.nextID.Add(1)),
-		state:   apiv1.StateQueued,
-		sub:     time.Now(),
-		prog:    prog,
-		journal: jr,
+		id:       fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		tc:       tc,
+		tracer:   tr,
+		timeline: tl,
+		state:    apiv1.StateQueued,
+		sub:      time.Now(),
+		prog:     prog,
+		journal:  jr,
 	}
 	s.register(j)
 	s.nJobs[cSubmitted].Add(1)
 	s.wg.Add(1)
 	go s.run(j, chk, targets, timeout)
-	s.log.Info("job accepted", "job", j.id, "targets", len(targets))
+	s.log.Info("job accepted", "job", j.id, "targets", len(targets),
+		"trace_id", tc.TraceID, "span_id", tc.SpanID)
+	w.Header().Set("Traceparent", tc.String())
 	writeJSON(w, http.StatusAccepted, apiv1.SubmitResponse{
 		JobID:     j.id,
 		State:     apiv1.StateQueued,
 		JobURL:    "/v1/jobs/" + j.id,
 		EventsURL: "/v1/jobs/" + j.id + "/events",
+		TraceURL:  "/v1/jobs/" + j.id + "/trace",
+		TraceID:   tc.TraceID,
 	})
 }
 
@@ -325,6 +356,10 @@ func (s *Server) run(j *job, chk *circ.Checker, targets []circ.Target, timeout t
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	// The scheduler timeline rides the context, alongside — never inside —
+	// the byte-deterministic journal: workers record busy/idle/steal
+	// segments into it whenever one is attached.
+	ctx = telemetry.WithTimeline(ctx, j.timeline)
 	s.gate.RLock()
 	batch, err := chk.CheckTargets(ctx, j.prog, targets)
 	s.gate.RUnlock()
@@ -403,7 +438,10 @@ func (s *Server) complete(j *job, batch *circ.BatchReport, err error) {
 		}
 	}
 	s.reg.Counter("jobs.certs_reused").Add(int64(rec.CertificatesReused))
-	s.log.Info("job finished", "job", j.id, "state", state)
+	s.lanes.set(j.id, j.tc.TraceID, j.timeline)
+	s.log.Info("job finished", "job", j.id, "state", state,
+		"trace_id", j.tc.TraceID, "spans", j.tracer.NumSpans(),
+		"timeline_segments", j.timeline.Len())
 }
 
 // resolveTargets validates the request's target list against the parsed
@@ -553,6 +591,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		SubmittedAt: j.sub,
 		StartedAt:   j.started,
 		FinishedAt:  j.done,
+		TraceID:     j.tc.TraceID,
+		TraceURL:    "/v1/jobs/" + j.id + "/trace",
 	}
 	if j.done != nil {
 		view.ElapsedSeconds = j.elapsed.Seconds()
@@ -579,6 +619,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
 	for _, e := range j.journal.Events() {
 		data, err := json.Marshal(e)
 		if err != nil {
@@ -586,6 +627,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		if _, err := w.Write(append(append([]byte("data: "), data...), '\n', '\n')); err != nil {
 			return
+		}
+		// Flush per event so proxies and buffering clients see frames as
+		// they are written, matching the live stream's behaviour.
+		if flusher != nil {
+			flusher.Flush()
 		}
 	}
 }
@@ -679,6 +725,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	as := expr.Stats()
 	snap := s.reg.Snapshot()
 	st := apiv1.Stats{
+		Build: s.buildInfo(),
 		Jobs: apiv1.JobStats{
 			Submitted: s.nJobs[cSubmitted].Load(),
 			Done:      s.nJobs[cDone].Load(),
@@ -693,11 +740,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Compactions:    int64(as.Compactions),
 		},
 		SMT: apiv1.SMTStats{
-			Hits:          smtStats.Hits,
-			Misses:        smtStats.Misses,
-			FastPath:      smtStats.FastPath,
-			HitRate:       smtStats.HitRate(),
-			ClausesShared: smtStats.ClausesShared,
+			Hits:               smtStats.Hits,
+			Misses:             smtStats.Misses,
+			FastPath:           smtStats.FastPath,
+			HitRate:            smtStats.HitRate(),
+			ClausesShared:      smtStats.ClausesShared,
+			SlowQueries:        smtStats.SlowQueries,
+			SlowLogThresholdMS: float64(s.base.SMTSlowLogThreshold()) / 1e6,
 		},
 		Scheduler: apiv1.SchedulerStats{
 			Steals:            snap.Counters["reach.steal.count"],

@@ -44,7 +44,14 @@ type inflightSolve struct {
 // the solver is deterministic, so both compute the same result and the
 // duplicated work is bounded by the race window. This keeps the hot hit
 // path a single RLock with no per-key latching.
-type CachedChecker struct {
+//
+// The struct is split in two: cacheCore owns the shared mutable state
+// (shards, counters, pools, the slow-query log) and is held by pointer,
+// while CachedChecker itself is a cheap copyable *view* that adds
+// telemetry bindings. WithTracer derives a view with a different span
+// sink over the same core, which is how the daemon gives every job its
+// own trace while all jobs keep sharing one verdict cache.
+type cacheCore struct {
 	inner    *Checker // solving core; its private cache is bypassed
 	shards   [numShards]cacheShard
 	hits     atomic.Int64
@@ -57,11 +64,19 @@ type CachedChecker struct {
 	poolMu sync.Mutex
 	pools  map[expr.ID]*clausePool
 
+	// Slow-query log (see slowlog.go). Threshold zero disables capture.
+	slow slowLog
+}
+
+// CachedChecker is the concurrency-safe view over a shared cacheCore.
+type CachedChecker struct {
+	core *cacheCore
+
 	// Telemetry, attached with Instrument. All handles are nil-safe, so an
 	// uninstrumented checker pays only nil checks.
 	cHits, cMisses, cFast  *telemetry.Counter
 	cSat, cUnsat, cUnknown *telemetry.Counter
-	cShared                *telemetry.Counter
+	cShared, cSlow         *telemetry.Counter
 	hSolve                 *telemetry.Histogram
 	tracer                 *telemetry.Tracer
 }
@@ -79,25 +94,46 @@ func (c *CachedChecker) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer
 	c.cUnsat = reg.Counter("smt.unsat")
 	c.cUnknown = reg.Counter("smt.unknown")
 	c.cShared = reg.Counter("smt.portfolio.clauses_shared")
+	c.cSlow = reg.Counter("smt.slow_queries")
 	if reg != nil {
 		c.hSolve = reg.Histogram("smt.solve")
 	}
 	c.tracer = tr
 }
 
+// WithTracer returns a view over the same cache core whose solve spans
+// and slow-query attribution go to tr. Counters, the verdict cache, the
+// clause pools, and the slow-query log stay shared with the parent view,
+// so deriving a per-job view costs one small allocation and changes no
+// cache behavior.
+func (c *CachedChecker) WithTracer(tr *telemetry.Tracer) *CachedChecker {
+	view := *c
+	view.tracer = tr
+	return &view
+}
+
 // instrumented runs one cache-miss solve under the attached telemetry:
-// duration histogram, per-verdict counter, and a detached "smt.solve"
-// span (cache misses are the only real solver work, so the trace stays
-// proportionate to where time goes).
-func (c *CachedChecker) instrumented(solve func() Result) Result {
-	if c.hSolve == nil && c.tracer == nil {
+// duration histogram, per-verdict counter, a detached "smt.solve" span
+// (cache misses are the only real solver work, so the trace stays
+// proportionate to where time goes), and — past the configured threshold
+// — a slow-query log entry. sess is non-nil for incremental session
+// queries and supplies the cube key and clause-sharing deltas.
+func (c *CachedChecker) instrumented(qid expr.ID, sess *Session, solve func() Result) Result {
+	slowNS := c.core.slow.threshold.Load()
+	if c.hSolve == nil && c.tracer == nil && slowNS == 0 {
 		return solve()
 	}
 	sp := c.tracer.StartDetached("smt.solve", "smt")
+	var replayedBefore, learnedBefore int
+	if sess != nil {
+		replayedBefore, learnedBefore = sess.replayed, sess.learned
+	}
 	start := time.Now()
 	r := solve()
-	c.hSolve.Observe(time.Since(start))
+	dur := time.Since(start)
+	c.hSolve.Observe(dur)
 	sp.Annotate("result", r.String())
+	sp.Annotate("formula_id", uint64(qid))
 	sp.End()
 	switch r {
 	case Sat:
@@ -106,6 +142,23 @@ func (c *CachedChecker) instrumented(solve func() Result) Result {
 		c.cUnsat.Inc()
 	default:
 		c.cUnknown.Inc()
+	}
+	if slowNS > 0 && dur >= time.Duration(slowNS) {
+		q := SlowQuery{
+			FormulaID:  uint64(qid),
+			Kind:       "direct",
+			DurationMS: float64(dur.Nanoseconds()) / 1e6,
+			Result:     r.String(),
+			TraceID:    c.tracer.TraceContext().TraceID,
+		}
+		if sess != nil {
+			q.Kind = "session"
+			q.CubeKey = truncateKey(expr.IDKey(sess.phi))
+			q.ClausesReplayed = sess.replayed - replayedBefore
+			q.ClausesLearned = sess.learned - learnedBefore
+		}
+		c.core.slow.record(q)
+		c.cSlow.Inc()
 	}
 	return r
 }
@@ -116,6 +169,7 @@ type CacheStats struct {
 	Misses        int64
 	FastPath      int64 // queries answered syntactically at intern time
 	ClausesShared int64 // pooled lemmas replayed into incremental sessions
+	SlowQueries   int64 // solves that exceeded the slow-query threshold
 	Solver        Stats // underlying solve-path work (queries, theory checks)
 }
 
@@ -133,21 +187,22 @@ func (s CacheStats) HitRate() float64 {
 // NewCachedChecker returns a concurrency-safe memoising checker with
 // default budgets.
 func NewCachedChecker() *CachedChecker {
-	c := &CachedChecker{inner: NewChecker()}
-	for i := range c.shards {
-		c.shards[i].m = make(map[expr.ID]Result)
+	core := &cacheCore{inner: NewChecker()}
+	for i := range core.shards {
+		core.shards[i].m = make(map[expr.ID]Result)
 	}
-	return c
+	return &CachedChecker{core: core}
 }
 
 // Stats returns a snapshot of the cache and solver counters.
 func (c *CachedChecker) Stats() CacheStats {
 	return CacheStats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		FastPath:      c.fastpath.Load(),
-		ClausesShared: c.shared.Load(),
-		Solver:        c.inner.Snapshot(),
+		Hits:          c.core.hits.Load(),
+		Misses:        c.core.misses.Load(),
+		FastPath:      c.core.fastpath.Load(),
+		ClausesShared: c.core.shared.Load(),
+		SlowQueries:   c.core.slow.total.Load(),
+		Solver:        c.core.inner.Snapshot(),
 	}
 }
 
@@ -158,8 +213,8 @@ func (c *CachedChecker) Stats() CacheStats {
 // journal from frontier-parallel phases.
 func (c *CachedChecker) CacheSize() int {
 	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range c.core.shards {
+		sh := &c.core.shards[i]
 		sh.mu.RLock()
 		n += len(sh.m)
 		sh.mu.RUnlock()
@@ -189,7 +244,7 @@ func (c *CachedChecker) PublishStats(reg *telemetry.Registry) {
 // assigned in intern order, so the low bits distribute uniformly; no
 // arena access or hashing is needed on the hit path.
 func (c *CachedChecker) shard(id expr.ID) *cacheShard {
-	return &c.shards[uint32(id)%numShards]
+	return &c.core.shards[uint32(id)%numShards]
 }
 
 // Sat reports the satisfiability of formula f, consulting the shared
@@ -207,7 +262,7 @@ func (c *CachedChecker) Sat(f expr.Expr) Result {
 // the hot path: a constant check, one shard RLock, and a map probe.
 func (c *CachedChecker) SatID(id expr.ID) Result {
 	if v, ok := expr.IDBoolValue(id); ok {
-		c.fastpath.Add(1)
+		c.core.fastpath.Add(1)
 		c.cFast.Inc()
 		if v {
 			return Sat
@@ -219,7 +274,7 @@ func (c *CachedChecker) SatID(id expr.ID) Result {
 	r, ok := sh.m[id]
 	sh.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		c.core.hits.Add(1)
 		c.cHits.Inc()
 		return r
 	}
@@ -229,14 +284,14 @@ func (c *CachedChecker) SatID(id expr.ID) Result {
 	sh.mu.Lock()
 	if r, ok := sh.m[id]; ok {
 		sh.mu.Unlock()
-		c.hits.Add(1)
+		c.core.hits.Add(1)
 		c.cHits.Inc()
 		return r
 	}
 	if f, ok := sh.inflight[id]; ok {
 		sh.mu.Unlock()
 		<-f.done
-		c.hits.Add(1)
+		c.core.hits.Add(1)
 		c.cHits.Inc()
 		return f.r
 	}
@@ -246,10 +301,10 @@ func (c *CachedChecker) SatID(id expr.ID) Result {
 	}
 	sh.inflight[id] = f
 	sh.mu.Unlock()
-	c.misses.Add(1)
+	c.core.misses.Add(1)
 	c.cMisses.Inc()
-	r = c.instrumented(func() Result {
-		r, _ := c.inner.solve(id, false)
+	r = c.instrumented(id, nil, func() Result {
+		r, _ := c.core.inner.solve(id, false)
 		return r
 	})
 	f.r = r
@@ -266,8 +321,8 @@ func (c *CachedChecker) SatID(id expr.ID) Result {
 func (c *CachedChecker) SatModel(f expr.Expr) (Result, map[string]int64) {
 	id := expr.Intern(f)
 	var m map[string]int64
-	r := c.instrumented(func() Result {
-		r, vals := c.inner.solve(id, true)
+	r := c.instrumented(id, nil, func() Result {
+		r, vals := c.core.inner.solve(id, true)
 		m = vals
 		return r
 	})
@@ -306,7 +361,7 @@ func (c *CachedChecker) UnsatCore(parts []expr.Expr) (core []int, ok bool) {
 // still share verdicts.
 func (c *CachedChecker) NewSession(phi expr.ID) *Session {
 	return &Session{
-		core: c.inner,
+		core: c.core.inner,
 		phi:  phi,
 		lookup: func(id expr.ID) (Result, bool) {
 			sh := c.shard(id)
@@ -322,25 +377,25 @@ func (c *CachedChecker) NewSession(phi expr.ID) *Session {
 			sh.mu.Unlock()
 		},
 		onHit: func() {
-			c.hits.Add(1)
+			c.core.hits.Add(1)
 			c.cHits.Inc()
 		},
 		onMiss: func() {
-			c.misses.Add(1)
+			c.core.misses.Add(1)
 			c.cMisses.Inc()
 		},
 		onFast: func() {
-			c.fastpath.Add(1)
+			c.core.fastpath.Add(1)
 			c.cFast.Inc()
 		},
 		run: c.instrumented,
 		solveFresh: func(id expr.ID) Result {
-			r, _ := c.inner.solve(id, false)
+			r, _ := c.core.inner.solve(id, false)
 			return r
 		},
 		getPool: func() *clausePool { return c.pool(phi) },
 		onShared: func(n int) {
-			c.shared.Add(int64(n))
+			c.core.shared.Add(int64(n))
 			c.cShared.Add(int64(n))
 		},
 	}

@@ -37,8 +37,10 @@ type Session struct {
 	onHit  func()
 	onMiss func()
 	onFast func()
-	// run wraps each incremental miss-solve, for instrumentation.
-	run func(func() Result) Result
+	// run wraps each incremental miss-solve, for instrumentation. It
+	// receives the full query ID and the session itself so the slow-query
+	// log can attribute cube key and clause-sharing deltas.
+	run func(expr.ID, *Session, func() Result) Result
 	// solveFresh performs an uninstrumented from-scratch solve (the
 	// deterministic fallback for incremental Unknowns). It never sees the
 	// clause pool: Unknown re-derivation opts out of the portfolio so the
@@ -56,6 +58,13 @@ type Session struct {
 	started bool
 	baseBad bool // phi's clause database is unsatisfiable outright
 	broken  bool // phi failed to encode; degrade to from-scratch solving
+
+	// Clause-sharing traffic, maintained on the session goroutine:
+	// lemmas replayed from the pool at first start, and conflicts this
+	// session's DPLL(T) loop captured into the pool. The instrumentation
+	// wrapper reads deltas across one solve for slow-query attribution.
+	replayed int
+	learned  int
 }
 
 // Phi returns the fixed conjunct of the session.
@@ -97,7 +106,7 @@ func (s *Session) SatConj(lit expr.ID) Result {
 	}
 	var r Result
 	if s.run != nil {
-		r = s.run(solve)
+		r = s.run(qid, s, solve)
 	} else {
 		r = solve()
 	}
@@ -149,10 +158,14 @@ func (s *Session) solveAssuming(lit expr.ID) Result {
 				}
 				replayed++
 			}
+			s.replayed += replayed
 			if replayed > 0 && s.onShared != nil {
 				s.onShared(replayed)
 			}
-			s.q.learnSink = pool.add
+			s.q.learnSink = func(conflict []assertedAtom) {
+				s.learned++
+				pool.add(conflict)
+			}
 		}
 	}
 	// Count the assumption query before any short-circuit: a baseBad

@@ -139,22 +139,23 @@ func (q *query) replayClause(cl pooledClause) bool {
 // and thus valid, but the wholesale reset keeps the invariant trivial).
 func (c *CachedChecker) pool(phi expr.ID) *clausePool {
 	gen := expr.Generation()
-	c.poolMu.Lock()
-	defer c.poolMu.Unlock()
-	if c.pools == nil {
-		c.pools = make(map[expr.ID]*clausePool)
+	core := c.core
+	core.poolMu.Lock()
+	defer core.poolMu.Unlock()
+	if core.pools == nil {
+		core.pools = make(map[expr.ID]*clausePool)
 	}
-	p := c.pools[phi]
+	p := core.pools[phi]
 	if p != nil && p.gen == gen {
 		return p
 	}
-	if p == nil && len(c.pools) >= maxPools {
+	if p == nil && len(core.pools) >= maxPools {
 		// The registry is a cache; resetting it wholesale is the simplest
 		// bound that cannot starve any particular φ forever.
-		c.pools = make(map[expr.ID]*clausePool)
+		core.pools = make(map[expr.ID]*clausePool)
 	}
 	p = &clausePool{gen: gen, seen: make(map[string]struct{})}
-	c.pools[phi] = p
+	core.pools[phi] = p
 	return p
 }
 
@@ -164,8 +165,8 @@ func (c *CachedChecker) pool(phi expr.ID) *clausePool {
 // number of cache entries removed.
 func (c *CachedChecker) SweepDead() (removed int) {
 	gen := expr.Generation()
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range c.core.shards {
+		sh := &c.core.shards[i]
 		sh.mu.Lock()
 		for id := range sh.m {
 			if !expr.Live(id) {
@@ -175,12 +176,12 @@ func (c *CachedChecker) SweepDead() (removed int) {
 		}
 		sh.mu.Unlock()
 	}
-	c.poolMu.Lock()
-	for id, p := range c.pools {
+	c.core.poolMu.Lock()
+	for id, p := range c.core.pools {
 		if p.gen != gen || !expr.Live(id) {
-			delete(c.pools, id)
+			delete(c.core.pools, id)
 		}
 	}
-	c.poolMu.Unlock()
+	c.core.poolMu.Unlock()
 	return removed
 }

@@ -34,9 +34,9 @@ func TestPortfolioSharesClauses(t *testing.T) {
 	if got := s1.SatConj(cubeLit(6, 9)); got != Sat {
 		t.Fatalf("phi && 6<=x<=9 = %v, want Sat", got)
 	}
-	c.poolMu.Lock()
-	pool := c.pools[phi]
-	c.poolMu.Unlock()
+	c.core.poolMu.Lock()
+	pool := c.core.pools[phi]
+	c.core.poolMu.Unlock()
 	if pool == nil || len(pool.snapshot()) == 0 {
 		t.Fatalf("no lemmas captured for phi after conflicting cubes")
 	}
@@ -146,9 +146,9 @@ func TestSweepDead(t *testing.T) {
 	if deadKept {
 		t.Fatalf("dead entry survived the sweep")
 	}
-	c.poolMu.Lock()
-	npools := len(c.pools)
-	c.poolMu.Unlock()
+	c.core.poolMu.Lock()
+	npools := len(c.core.pools)
+	c.core.poolMu.Unlock()
 	if npools != 0 {
 		t.Fatalf("%d stale pools survived the sweep", npools)
 	}

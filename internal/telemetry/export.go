@@ -8,9 +8,11 @@ import (
 	"time"
 )
 
-// traceEvent is one record of the Chrome trace_event format. Only complete
-// events ("ph":"X") are emitted; ts and dur are microseconds from the
-// tracer's start. Files load directly in chrome://tracing and Perfetto.
+// traceEvent is one record of the Chrome trace_event format. Complete
+// events ("ph":"X") carry a duration; instant events ("ph":"i") mark a
+// point in time; metadata events ("ph":"M") name lanes. ts and dur are
+// microseconds from the tracer's start. Files load directly in
+// chrome://tracing and Perfetto.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -19,19 +21,23 @@ type traceEvent struct {
 	Dur  float64        `json:"dur"`
 	PID  int            `json:"pid"`
 	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// traceFile is the JSON object form of the trace_event format.
+// traceFile is the JSON object form of the trace_event format. OtherData
+// is ignored by viewers but carries the job's trace identity so a saved
+// trace remains correlatable with logs and the job ring.
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
-// Export writes the completed spans as Chrome trace_event JSON. Spans are
-// sorted by start time (ties: longer first, then by name) so the output is
+// spanTraceEvents snapshots the completed spans as trace events, sorted
+// by start time (ties: longer first, then by name) so the output is
 // deterministic regardless of completion order.
-func (t *Tracer) Export(w io.Writer) error {
+func (t *Tracer) spanTraceEvents() []traceEvent {
 	if t == nil {
 		return nil
 	}
@@ -47,7 +53,7 @@ func (t *Tracer) Export(w io.Writer) error {
 		}
 		return events[i].name < events[j].name
 	})
-	out := traceFile{TraceEvents: make([]traceEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	out := make([]traceEvent, 0, len(events))
 	for _, ev := range events {
 		te := traceEvent{
 			Name: ev.name,
@@ -64,11 +70,17 @@ func (t *Tracer) Export(w io.Writer) error {
 				te.Args[a.Key] = a.Value
 			}
 		}
-		out.TraceEvents = append(out.TraceEvents, te)
+		out = append(out, te)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return out
+}
+
+// Export writes the completed spans as Chrome trace_event JSON.
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return writeTraceFile(w, t.spanTraceEvents(), t.TraceContext())
 }
 
 // ExportFile writes the trace to path; see Export.
@@ -85,6 +97,99 @@ func (t *Tracer) ExportFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteTrace writes the full flight-deck trace for one job: the tracer's
+// spans plus the scheduler timeline rendered as named per-worker lanes,
+// every event stamped with the tracer's trace identity. Either recorder
+// may be nil; the other is still exported.
+func WriteTrace(w io.Writer, t *Tracer, tl *Timeline) error {
+	events := t.spanTraceEvents()
+	maxLane := int64(0)
+	for _, ev := range events {
+		if ev.TID > maxLane {
+			maxLane = ev.TID
+		}
+	}
+	events = append(events, timelineTraceEvents(tl, maxLane+1)...)
+	return writeTraceFile(w, events, t.TraceContext())
+}
+
+// timelineTraceEvents renders timeline segments as trace events on lanes
+// numbered from firstLane, one lane per distinct segment lane name (in
+// sorted order, so worker lanes come out in index order), each announced
+// with a thread_name metadata record.
+func timelineTraceEvents(tl *Timeline, firstLane int64) []traceEvent {
+	segs := tl.Segments()
+	if len(segs) == 0 {
+		return nil
+	}
+	laneIDs := make(map[string]int64)
+	var names []string
+	for _, s := range segs {
+		if _, ok := laneIDs[s.Lane]; !ok {
+			laneIDs[s.Lane] = 0
+			names = append(names, s.Lane)
+		}
+	}
+	sort.Strings(names)
+	out := make([]traceEvent, 0, len(segs)+len(names))
+	for i, name := range names {
+		laneIDs[name] = firstLane + int64(i)
+		out = append(out, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  laneIDs[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range segs {
+		te := traceEvent{
+			Name: s.Kind,
+			Cat:  "sched",
+			Ph:   "X",
+			TS:   micros(s.Start),
+			Dur:  micros(s.Dur),
+			PID:  1,
+			TID:  laneIDs[s.Lane],
+		}
+		if s.Dur == 0 {
+			// Steals are instantaneous marks; a zero-width complete event
+			// is invisible in viewers, an instant event is not.
+			te.Ph, te.S = "i", "t"
+		}
+		out = append(out, te)
+	}
+	return out
+}
+
+// writeTraceFile stamps the trace identity onto every event and encodes
+// the file. With a zero identity the output is byte-identical to the
+// historical exporter format.
+func writeTraceFile(w io.Writer, events []traceEvent, tc TraceContext) error {
+	out := traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []traceEvent{}
+	}
+	if tc.TraceID != "" {
+		for i := range out.TraceEvents {
+			if out.TraceEvents[i].Ph == "M" {
+				continue
+			}
+			if out.TraceEvents[i].Args == nil {
+				out.TraceEvents[i].Args = map[string]any{}
+			}
+			out.TraceEvents[i].Args["trace_id"] = tc.TraceID
+		}
+		out.OtherData = map[string]string{"trace_id": tc.TraceID, "span_id": tc.SpanID}
+		if tc.ParentID != "" {
+			out.OtherData["parent_span_id"] = tc.ParentID
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
 }
 
 // micros converts to the trace_event microsecond timebase, keeping

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timeline is a bounded recorder of scheduler activity segments: which
+// worker was busy, idle, or stealing, and when. It is the performance
+// plane's answer to the journal — segments are wall-clock observations
+// recorded concurrently from every worker, so they are carried alongside
+// the byte-deterministic journal event stream, never inside it.
+//
+// A nil *Timeline accepts every method as a no-op, mirroring the rest of
+// the package, so the steal scheduler's hot path pays one nil check when
+// no flight deck is attached.
+type Timeline struct {
+	start time.Time
+	cap   int
+
+	mu      sync.Mutex
+	segs    []TimelineSegment
+	dropped atomic.Int64
+}
+
+// TimelineSegment is one recorded activity interval on a named lane.
+// Offsets are from the timeline's start, in the same timebase as the
+// owning tracer when the timeline was created with NewTimelineAt.
+type TimelineSegment struct {
+	Lane  string        `json:"lane"`
+	Kind  string        `json:"kind"` // SegBusy, SegIdle, or SegSteal
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Segment kinds recorded by the steal scheduler.
+const (
+	SegBusy  = "busy"  // continuously expanding slots (own deque or stolen)
+	SegIdle  = "idle"  // parked on the work condition variable
+	SegSteal = "steal" // a successful steal from a sibling deque
+)
+
+// DefaultTimelineCap bounds a per-job timeline when the caller does not
+// choose a cap. Workers record one busy and one idle segment per park,
+// so the bound is hit only by long checks; overflow increments a drop
+// counter instead of growing without bound.
+const DefaultTimelineCap = 8192
+
+// NewTimeline returns a timeline whose timebase starts now. cap <= 0
+// selects DefaultTimelineCap.
+func NewTimeline(capacity int) *Timeline { return NewTimelineAt(time.Now(), capacity) }
+
+// NewTimelineAt returns a timeline with an explicit start instant, so its
+// segment offsets share a timebase with a Tracer created at that instant.
+func NewTimelineAt(start time.Time, capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{start: start, cap: capacity}
+}
+
+// Record appends one segment. Segments beyond the cap are counted as
+// dropped rather than stored. Nil-safe and safe for concurrent use.
+func (t *Timeline) Record(lane, kind string, start time.Time, dur time.Duration) {
+	if t == nil || dur < 0 {
+		return
+	}
+	off := start.Sub(t.start)
+	t.mu.Lock()
+	if len(t.segs) >= t.cap {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.segs = append(t.segs, TimelineSegment{Lane: lane, Kind: kind, Start: off, Dur: dur})
+	t.mu.Unlock()
+}
+
+// Mark records an instantaneous event (a successful steal) as a
+// zero-duration segment starting now.
+func (t *Timeline) Mark(lane, kind string) {
+	if t == nil {
+		return
+	}
+	t.Record(lane, kind, time.Now(), 0)
+}
+
+// Segments returns a copy of the recorded segments sorted by (start,
+// lane, kind) so output is deterministic regardless of recording order.
+func (t *Timeline) Segments() []TimelineSegment {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	segs := append([]TimelineSegment(nil), t.segs...)
+	t.mu.Unlock()
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		if segs[i].Lane != segs[j].Lane {
+			return segs[i].Lane < segs[j].Lane
+		}
+		return segs[i].Kind < segs[j].Kind
+	})
+	return segs
+}
+
+// Dropped returns how many segments were discarded at the cap.
+func (t *Timeline) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Len returns the number of stored segments.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.segs)
+}
+
+// IdleByLane sums idle time per lane, the input for the per-worker idle
+// breakdown (idle_ms_max / idle_ms_p50) in bench reports.
+func (t *Timeline) IdleByLane() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.segs) == 0 {
+		return nil
+	}
+	idle := make(map[string]time.Duration)
+	for _, s := range t.segs {
+		if s.Kind == SegIdle {
+			idle[s.Lane] += s.Dur
+		}
+	}
+	return idle
+}
+
+type timelineKey struct{}
+
+// WithTimeline returns ctx carrying tl, so the reach scheduler deep below
+// the public API can find the per-job recorder without threading a new
+// parameter through every layer. A nil tl returns ctx unchanged.
+func WithTimeline(ctx context.Context, tl *Timeline) context.Context {
+	if tl == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, timelineKey{}, tl)
+}
+
+// TimelineFromContext returns the timeline carried by ctx, or nil.
+func TimelineFromContext(ctx context.Context) *Timeline {
+	tl, _ := ctx.Value(timelineKey{}).(*Timeline)
+	return tl
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineRecordAndSegments(t *testing.T) {
+	base := time.Now()
+	tl := NewTimelineAt(base, 16)
+	tl.Record("w1", SegIdle, base.Add(5*time.Millisecond), 2*time.Millisecond)
+	tl.Record("w0", SegBusy, base, 5*time.Millisecond)
+	tl.Record("w1", SegBusy, base, 5*time.Millisecond)
+
+	segs := tl.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	// Sorted by (start, lane, kind): both busy segments precede the idle.
+	if segs[0].Lane != "w0" || segs[1].Lane != "w1" || segs[2].Kind != SegIdle {
+		t.Fatalf("order = %+v", segs)
+	}
+	if segs[2].Start != 5*time.Millisecond {
+		t.Fatalf("idle start offset = %v, want 5ms", segs[2].Start)
+	}
+	if tl.Len() != 3 || tl.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", tl.Len(), tl.Dropped())
+	}
+}
+
+func TestTimelineCapAndNegative(t *testing.T) {
+	base := time.Now()
+	tl := NewTimelineAt(base, 2)
+	for i := 0; i < 5; i++ {
+		tl.Record("w", SegBusy, base, time.Millisecond)
+	}
+	if tl.Len() != 2 || tl.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/3", tl.Len(), tl.Dropped())
+	}
+	tl2 := NewTimelineAt(base, 8)
+	tl2.Record("w", SegBusy, base, -time.Millisecond)
+	if tl2.Len() != 0 {
+		t.Fatal("negative duration recorded")
+	}
+}
+
+func TestTimelineIdleByLane(t *testing.T) {
+	base := time.Now()
+	tl := NewTimelineAt(base, 16)
+	tl.Record("w0", SegIdle, base, 3*time.Millisecond)
+	tl.Record("w0", SegIdle, base.Add(10*time.Millisecond), time.Millisecond)
+	tl.Record("w1", SegIdle, base, 7*time.Millisecond)
+	tl.Record("w1", SegBusy, base, 20*time.Millisecond)
+	idle := tl.IdleByLane()
+	if idle["w0"] != 4*time.Millisecond || idle["w1"] != 7*time.Millisecond {
+		t.Fatalf("IdleByLane = %v", idle)
+	}
+}
+
+func TestTimelineNilAndContext(t *testing.T) {
+	var tl *Timeline
+	tl.Record("w", SegBusy, time.Now(), time.Millisecond) // must not panic
+	tl.Mark("w", SegSteal)
+	if tl.Len() != 0 || tl.Segments() != nil || tl.IdleByLane() != nil {
+		t.Fatal("nil timeline not inert")
+	}
+	if got := TimelineFromContext(context.Background()); got != nil {
+		t.Fatalf("empty context carries timeline %v", got)
+	}
+	real := NewTimeline(8)
+	ctx := WithTimeline(context.Background(), real)
+	if got := TimelineFromContext(ctx); got != real {
+		t.Fatal("timeline not carried by context")
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline(DefaultTimelineCap)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := string(rune('a' + w))
+			for i := 0; i < 200; i++ {
+				tl.Mark(lane, SegSteal)
+				tl.Record(lane, SegBusy, time.Now(), time.Microsecond)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tl.Segments()
+				tl.IdleByLane()
+			}
+		}()
+	}
+	wg.Wait()
+	if tl.Len() != 8*400 {
+		t.Fatalf("Len = %d, want %d", tl.Len(), 8*400)
+	}
+}
+
+// TestWriteTraceMergesTimeline: the combined export renders spans and
+// timeline lanes in one file, names the lanes, renders steals as instant
+// events, and stamps the trace ID on every non-metadata event.
+func TestWriteTraceMergesTimeline(t *testing.T) {
+	tr := NewTracer()
+	tc := ContextFromTraceParent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	tr.SetTraceContext(tc)
+	sp := tr.StartDetached("smt.solve", "smt")
+	sp.End()
+
+	base := tr.StartTime()
+	tl := NewTimelineAt(base, 64)
+	tl.Record("reach.worker.00", SegBusy, base, 2*time.Millisecond)
+	tl.Record("reach.worker.01", SegIdle, base, time.Millisecond)
+	tl.Record("reach.worker.01", SegSteal, base.Add(time.Millisecond), 0)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, tl); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int64          `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.OtherData["trace_id"] != tc.TraceID || file.OtherData["parent_span_id"] != "00f067aa0ba902b7" {
+		t.Fatalf("otherData = %v", file.OtherData)
+	}
+	var lanes []string
+	var sawSpan, sawSteal bool
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" {
+			lanes = append(lanes, ev.Args["name"].(string))
+			continue
+		}
+		if got, _ := ev.Args["trace_id"].(string); got != tc.TraceID {
+			t.Fatalf("event %q missing trace_id: %v", ev.Name, ev.Args)
+		}
+		switch {
+		case ev.Name == "smt.solve":
+			sawSpan = true
+		case ev.Name == SegSteal:
+			sawSteal = true
+			if ev.Ph != "i" || ev.S != "t" {
+				t.Fatalf("steal rendered as ph=%q s=%q", ev.Ph, ev.S)
+			}
+		}
+	}
+	if !sawSpan || !sawSteal {
+		t.Fatalf("merged trace missing span (%v) or steal (%v)", sawSpan, sawSteal)
+	}
+	if len(lanes) != 2 || lanes[0] != "reach.worker.00" || lanes[1] != "reach.worker.01" {
+		t.Fatalf("timeline lanes = %v", lanes)
+	}
+}

@@ -27,8 +27,11 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []spanEvent
 	free   []int64 // reusable lanes of fully-closed detached spans
+	tc     TraceContext
+	max    int // span cap; 0 = unbounded
 
 	nextLane atomic.Int64
+	dropped  atomic.Int64 // spans discarded at the cap
 }
 
 // spanEvent is one completed span, recorded at End.
@@ -50,6 +53,59 @@ type Arg struct {
 // NewTracer returns a tracer whose timebase starts now.
 func NewTracer() *Tracer {
 	return &Tracer{start: time.Now(), now: time.Now}
+}
+
+// StartTime returns the tracer's timebase origin, so sibling recorders
+// (the scheduler Timeline) can share it and export aligned offsets.
+func (t *Tracer) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// SetTraceContext attaches a W3C trace identity to the tracer. The
+// exporter stamps it on every span so a per-job trace carries the
+// caller-supplied (or daemon-minted) trace ID end to end.
+func (t *Tracer) SetTraceContext(tc TraceContext) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tc = tc
+	t.mu.Unlock()
+}
+
+// TraceContext returns the identity set by SetTraceContext (zero when
+// none was attached).
+func (t *Tracer) TraceContext() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tc
+}
+
+// SetMaxSpans bounds the number of recorded spans; once reached, further
+// spans are counted as dropped instead of stored. Long-lived daemons set
+// this so a pathological job cannot grow a trace without bound. n <= 0
+// removes the bound.
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.max = n
+	t.mu.Unlock()
+}
+
+// DroppedSpans returns how many spans were discarded at the cap.
+func (t *Tracer) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Span is one timed region. A nil Span ignores Annotate and End, so
@@ -171,7 +227,11 @@ func (s *Span) End() {
 	ev := spanEvent{name: s.name, cat: s.cat, lane: s.lane, start: s.start, dur: end - s.start, args: args}
 	t := s.tr
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.max > 0 && len(t.events) >= t.max {
+		t.dropped.Add(1)
+	} else {
+		t.events = append(t.events, ev)
+	}
 	if s.detached {
 		t.free = append(t.free, s.lane)
 	}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context (traceparent) support. The daemon accepts a
+// traceparent header on every /v1 request so a check submitted from a
+// larger system joins that system's distributed trace; when no header is
+// supplied the daemon mints fresh identifiers so every job is still
+// individually addressable. Only version 00 of the header is parsed:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Trace identity travels alongside the byte-deterministic journal —
+// never inside it — so accepting a caller's trace ID cannot perturb
+// journal byte-identity.
+
+// TraceContext is one W3C trace-context identity: the trace ID shared by
+// every span of a distributed trace, and the span ID of the local root.
+type TraceContext struct {
+	TraceID  string // 32 lowercase hex chars, not all zero
+	SpanID   string // 16 lowercase hex chars, not all zero
+	ParentID string // caller's span ID when the identity was propagated, else ""
+}
+
+// String renders the identity as a traceparent header value, suitable for
+// propagating to downstream services. Sampled flag is always set: circd
+// records every job it accepts.
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceParent parses a version-00 traceparent header. It returns
+// ok=false on any malformed input (wrong shape, bad hex, all-zero IDs),
+// in which case callers should mint a fresh identity instead.
+func ParseTraceParent(header string) (traceID, parentID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	traceID, parentID = strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if !validHexID(traceID, 32) || !validHexID(parentID, 16) || len(parts[3]) != 2 {
+		return "", "", false
+	}
+	if _, err := hex.DecodeString(parts[3]); err != nil {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+// ContextFromTraceParent resolves an incoming traceparent header into a
+// full local identity: the caller's trace ID is adopted (with the
+// caller's span ID as parent) when the header is valid, and a fresh trace
+// is minted otherwise. A new local root span ID is minted either way.
+func ContextFromTraceParent(header string) TraceContext {
+	if traceID, parentID, ok := ParseTraceParent(header); ok {
+		return TraceContext{TraceID: traceID, SpanID: MintSpanID(), ParentID: parentID}
+	}
+	return TraceContext{TraceID: MintTraceID(), SpanID: MintSpanID()}
+}
+
+// MintTraceID returns a fresh random 32-hex-char trace ID.
+func MintTraceID() string { return mintHex(16) }
+
+// MintSpanID returns a fresh random 16-hex-char span ID.
+func MintSpanID() string { return mintHex(8) }
+
+func mintHex(nBytes int) string {
+	b := make([]byte, nBytes)
+	for {
+		if _, err := rand.Read(b); err != nil {
+			// crypto/rand never fails on supported platforms; if it somehow
+			// does, an all-zero ID would be invalid per spec, so retry.
+			continue
+		}
+		allZero := true
+		for _, x := range b {
+			if x != 0 {
+				allZero = false
+				break
+			}
+		}
+		if !allZero {
+			return hex.EncodeToString(b)
+		}
+	}
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	allZero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			allZero = false
+		}
+	}
+	return !allZero
+}
