@@ -68,6 +68,10 @@ type Options struct {
 	// Slicing disables ("off") or forces ("on") cone-of-influence
 	// slicing. Empty keeps the default (on).
 	Slicing string `json:"slicing,omitempty"`
+	// SeedPreds disables ("off") or forces ("on") seeding the engine's
+	// initial predicates from the static flag-guard analysis. Empty keeps
+	// the default (on).
+	SeedPreds string `json:"seed_preds,omitempty"`
 	// MaxRounds, MaxInner and MaxStates bound the inference; zero keeps
 	// the engine defaults.
 	MaxRounds int `json:"max_rounds,omitempty"`
@@ -136,8 +140,12 @@ type TargetResult struct {
 	// Reason qualifies unknown/error verdicts.
 	Reason string `json:"reason,omitempty"`
 	// Triage names the static rule that discharged the pair without
-	// running inference ("read-only", "thread-local", "atomic-covered").
+	// running inference ("read-only", "thread-local", "atomic-covered",
+	// "flag-guarded").
 	Triage string `json:"triage,omitempty"`
+	// SeededPreds counts the initial predicates the static flag-guard
+	// analysis exported into this target's inference run.
+	SeededPreds int `json:"seeded_preds,omitempty"`
 	// Summary is the one-line human-readable report.
 	Summary string `json:"summary,omitempty"`
 	// K, Preds and Rounds describe the evidence: final counter value,
@@ -220,6 +228,7 @@ type Stats struct {
 	SMT       SMTStats       `json:"smt"`
 	Store     StoreStats     `json:"store"`
 	Scheduler SchedulerStats `json:"scheduler"`
+	Triage    TriageStats    `json:"triage"`
 	Lifetime  LifetimeStats  `json:"lifetime"`
 }
 
@@ -304,6 +313,21 @@ type StoreStats struct {
 	Bytes            int64 `json:"bytes"`
 	BytesHighWater   int64 `json:"bytes_high_water"`
 	EntriesHighWater int64 `json:"entries_high_water"`
+}
+
+// TriageStats describes the static-analysis pipeline, aggregated over
+// every analysis the daemon has run: discharges by rule and the initial
+// predicates exported into inference runs. The same numbers back the
+// circ_triage_discharged_total{reason=...} and
+// circ_seed_predicates_total families in /metrics.
+type TriageStats struct {
+	// Discharged counts (thread, variable) pairs proved race-free
+	// statically; ByReason splits the total by discharge rule.
+	Discharged int64            `json:"discharged"`
+	ByReason   map[string]int64 `json:"by_reason,omitempty"`
+	// SeededPredicates counts initial predicates the flag-guard analysis
+	// exported into inference runs (pairs it could not discharge).
+	SeededPredicates int64 `json:"seeded_predicates"`
 }
 
 // LifetimeStats aggregates the completed-job flight data over the

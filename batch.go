@@ -98,12 +98,13 @@ func (b *BatchReport) Summary() string {
 // Each unit first passes through the static triage stage (unless
 // disabled with WithTriage): pairs proved race-free by the linear-time
 // dataflow rules get a TargetReport whose Report.Triage names the rule
-// ("read-only", "atomic-covered", "thread-local") and never touch the
+// ("read-only", "atomic-covered", "thread-local", "flag-guarded") and never touch the
 // SMT solver. Surviving pairs run CIRC on a per-target cone-of-influence
 // slice of the thread CFA (unless disabled with WithSlicing), so batch
 // wall-time scales with the number of hard pairs rather than all pairs.
-// The batch Metrics carry triage.discharged, per-rule triage.* counters,
-// and slice.edges_removed / slice.locs_removed totals.
+// The batch Metrics carry triage.discharged (with a per-rule
+// triage.discharged{reason=...} labelled family), seed.predicates, and
+// slice.edges_removed / slice.locs_removed totals.
 //
 // When more than one unit runs concurrently, each unit's reachability runs
 // sequentially (the pool is the parallelism); a single-unit batch uses

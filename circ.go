@@ -231,6 +231,7 @@ type Checker struct {
 	maxStates   int
 	triage      bool
 	slicing     bool
+	seedPreds   bool
 	solver      *smt.CachedChecker
 	journal     *journal.Recorder
 	store       *store.Store
@@ -350,13 +351,15 @@ func WithJournal(j *Journal) Option { return func(c *Checker) { c.journal = j } 
 func (c *Checker) Journal() *Journal { return c.journal }
 
 // WithTriage enables or disables the static triage stage (default on):
-// linear-time dataflow rules that discharge (thread, variable) pairs
-// proved race-free without running the inference engine — globals the
-// thread never accesses ("thread-local"), never writes ("read-only"), or
-// accesses only from atomic locations ("atomic-covered"). Discharged
-// reports carry the rule in Report.Triage and never touch the SMT
-// solver. Triage is sound: it only ever produces Safe verdicts that CIRC
-// would (eventually) also produce.
+// dataflow rules that discharge (thread, variable) pairs proved
+// race-free without running the inference engine — globals the thread
+// never accesses ("thread-local"), never writes ("read-only"), accesses
+// only from atomic locations ("atomic-covered"), or accesses only while
+// holding a single-owner busy flag proved by the flag-guard
+// must-analysis ("flag-guarded"). Discharged reports carry the rule in
+// Report.Triage and never touch the SMT solver. Triage is sound: it
+// only ever produces Safe verdicts that CIRC would (eventually) also
+// produce.
 func WithTriage(on bool) Option { return func(c *Checker) { c.triage = on } }
 
 // WithSlicing enables or disables per-target cone-of-influence slicing
@@ -367,6 +370,18 @@ func WithTriage(on bool) Option { return func(c *Checker) { c.triage = on } }
 // preserves every access to the target verbatim, so verdicts are
 // unchanged — the engine just stops paying for irrelevant state.
 func WithSlicing(on bool) Option { return func(c *Checker) { c.slicing = on } }
+
+// WithSeedPredicates enables or disables static predicate seeding
+// (default on): for pairs the triage rules could not discharge, the
+// flag-guard analysis exports the guard facts it did establish —
+// flag-against-constant equalities and the local witnesses that observe
+// an acquire — as the engine's initial predicate set. Predicate
+// abstraction is sound for any predicate set, so seeding never changes
+// a verdict; it only lets refinement start from the synchronisation
+// protocol instead of rediscovering it one spurious trace at a time.
+// Seeded predicates are recorded in Report.SeededPreds, journalled as
+// predicate_seeded events, and counted by the seed.predicates counter.
+func WithSeedPredicates(on bool) Option { return func(c *Checker) { c.seedPreds = on } }
 
 // WithBudgets bounds the analysis: maximum refinement rounds, inner
 // context-weakening rounds, and abstract states per reachability run.
@@ -387,10 +402,11 @@ func WithTarget(thread, variable string) Option {
 // NewChecker returns a Checker with the given options applied.
 func NewChecker(opts ...Option) *Checker {
 	c := &Checker{
-		solver:   smt.NewCachedChecker(),
-		registry: telemetry.NewRegistry(),
-		triage:   true,
-		slicing:  true,
+		solver:    smt.NewCachedChecker(),
+		registry:  telemetry.NewRegistry(),
+		triage:    true,
+		slicing:   true,
+		seedPreds: true,
 	}
 	for _, o := range opts {
 		o(c)
@@ -482,42 +498,56 @@ func CurrentArenaStats() ArenaStats { return expr.Stats() }
 
 // prepareUnit runs the static pre-analysis for one (thread CFA,
 // variable) unit: the triage rules first, then cone-of-influence
-// slicing for the survivors. It returns either a discharged Safe report
-// (the engine need not run) or the CFA CIRC should analyse — the slice
-// when slicing is on and the original otherwise. Journal events and
-// telemetry counters are emitted through s and reg.
-func (c *Checker) prepareUnit(g *cfa.CFA, variable string, s *journal.Stream, reg *telemetry.Registry) (*cfa.CFA, *Report) {
+// slicing for the survivors, then predicate seeding from the flag-guard
+// analysis's facts. It returns either a discharged Safe report (the
+// engine need not run) or the CFA CIRC should analyse — the slice when
+// slicing is on and the original otherwise — plus the seed predicates
+// for the engine's initial abstraction (nil when seeding is off or the
+// guard analysis found no candidate flags). Journal events and
+// telemetry counters are emitted through s and reg; discharge reasons
+// ride as a label on the triage.discharged{reason=...} counter family,
+// which /metrics exposes as circ_triage_discharged_total{reason=...}.
+func (c *Checker) prepareUnit(g *cfa.CFA, variable string, s *journal.Stream, reg *telemetry.Registry) (*cfa.CFA, []expr.Expr, *Report) {
 	if c.triage {
 		if d, ok := dataflow.Triage(g, variable); ok {
 			unit := telemetry.ChildOf(reg)
 			unit.Counter("triage.discharged").Inc()
-			unit.Counter("triage." + dataflow.CounterKey(d.Reason)).Inc()
-			s.Emit(journal.Event{Type: journal.EvTriageVerdict, Verdict: "safe", Reason: d.Reason})
+			unit.Counter(`triage.discharged{reason="` + d.Reason + `"}`).Inc()
+			s.Emit(journal.Event{Type: journal.EvTriageVerdict, Verdict: "safe", Reason: d.Reason, Detail: d.Detail})
 			s.Emit(journal.Event{Type: journal.EvVerdict, Verdict: "safe", Reason: "triage: " + d.Reason})
-			return nil, &Report{
+			return nil, nil, &Report{
 				Verdict: Safe,
 				Triage:  d.Reason,
 				Metrics: unit.Snapshot(),
 			}
 		}
 	}
-	if !c.slicing {
-		return g, nil
+	analysed := g
+	if c.slicing {
+		sliced, stats := dataflow.Slice(g, variable)
+		reg.Counter("slice.applied").Inc()
+		reg.Counter("slice.edges_removed").Add(int64(stats.EdgesBefore - stats.EdgesAfter))
+		reg.Counter("slice.locs_removed").Add(int64(stats.LocsBefore - stats.LocsAfter))
+		reg.Counter("slice.assigns_skipped").Add(int64(stats.AssignsSkipped))
+		reg.Counter("slice.assumes_weakened").Add(int64(stats.AssumesWeakened))
+		s.Emit(journal.Event{
+			Type:        journal.EvCFASliced,
+			LocsBefore:  stats.LocsBefore,
+			LocsAfter:   stats.LocsAfter,
+			EdgesBefore: stats.EdgesBefore,
+			EdgesAfter:  stats.EdgesAfter,
+		})
+		analysed = sliced
 	}
-	sliced, stats := dataflow.Slice(g, variable)
-	reg.Counter("slice.applied").Inc()
-	reg.Counter("slice.edges_removed").Add(int64(stats.EdgesBefore - stats.EdgesAfter))
-	reg.Counter("slice.locs_removed").Add(int64(stats.LocsBefore - stats.LocsAfter))
-	reg.Counter("slice.assigns_skipped").Add(int64(stats.AssignsSkipped))
-	reg.Counter("slice.assumes_weakened").Add(int64(stats.AssumesWeakened))
-	s.Emit(journal.Event{
-		Type:        journal.EvCFASliced,
-		LocsBefore:  stats.LocsBefore,
-		LocsAfter:   stats.LocsAfter,
-		EdgesBefore: stats.EdgesBefore,
-		EdgesAfter:  stats.EdgesAfter,
-	})
-	return sliced, nil
+	var seeds []expr.Expr
+	if c.seedPreds {
+		for _, sp := range dataflow.FlagGuard(analysed).SeedPredicates() {
+			seeds = append(seeds, sp.Pred)
+			reg.Counter("seed.predicates").Inc()
+			s.Emit(journal.Event{Type: journal.EvPredicateSeeded, Pred: sp.Pred.String(), Reason: sp.Origin})
+		}
+	}
+	return analysed, seeds, nil
 }
 
 // Check runs CIRC on the named thread of p (empty: the single thread),
@@ -737,6 +767,54 @@ func Flowcheck(src string, thread string) (*FlowcheckReport, error) {
 		return nil, err
 	}
 	return flowcheck.Analyze([]*cfa.CFA{c}), nil
+}
+
+// FlagguardReport is the static flag-guard baseline's output: the
+// triage pipeline — the syntactic discharge rules plus the flag-guard
+// must-analysis — run as a standalone analyzer, without the inference
+// engine behind it.
+type FlagguardReport struct {
+	// Discharged maps every global proved race-free to the rule that
+	// discharged it ("thread-local", "read-only", "atomic-covered",
+	// "flag-guarded"); Details carries each rule's one-line evidence.
+	Discharged map[string]string
+	// Details renders the discharge evidence per global.
+	Details map[string]string
+}
+
+// Racy reports whether the static pipeline failed to prove v race-free
+// — the baseline warns on v. Unlike flowcheck and lockset, a warning
+// here is only incompleteness, never unsoundness: discharges are proofs.
+func (r *FlagguardReport) Racy(v string) bool {
+	_, ok := r.Discharged[v]
+	return !ok
+}
+
+// Flagguard runs the static triage pipeline (including the flag-guard
+// must-analysis) on the program's thread as a baseline analyzer: every
+// global it discharges is proved race-free without SMT or inference,
+// and every residue global is a warning the CIRC engine would have to
+// resolve.
+func Flagguard(src string, thread string) (*FlagguardReport, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.CFA(thread)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FlagguardReport{
+		Discharged: make(map[string]string),
+		Details:    make(map[string]string),
+	}
+	for _, g := range p.Globals() {
+		if d, ok := dataflow.Triage(c, g); ok {
+			rep.Discharged[g] = d.Reason
+			rep.Details[g] = d.Detail
+		}
+	}
+	return rep, nil
 }
 
 // ExplicitResult is the bounded explicit-state checker's output.

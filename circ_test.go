@@ -30,12 +30,25 @@ thread Worker {
 `
 
 func TestPublicAPISafe(t *testing.T) {
+	// Default pipeline: the flag-guard triage rule proves the test-and-set
+	// idiom safe statically, so the report carries the rule, not a model.
 	rep, err := Check(context.Background(), tasSrc, WithTarget("", "x"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Verdict != Safe {
 		t.Fatalf("verdict = %v (%s)", rep.Verdict, rep.Reason)
+	}
+	if rep.Triage != "flag-guarded" {
+		t.Fatalf("triage = %q, want flag-guarded", rep.Triage)
+	}
+	// Engine path: with triage off the proof is an inferred context model.
+	rep, err = Check(context.Background(), tasSrc, WithTarget("", "x"), WithTriage(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Safe {
+		t.Fatalf("engine verdict = %v (%s)", rep.Verdict, rep.Reason)
 	}
 	if rep.FinalACFA == nil {
 		t.Fatalf("missing context model")
@@ -246,7 +259,10 @@ func TestVerifyCertificatePublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := CheckProgram(p, CheckOptions{Variable: "x"})
+	// Triage off for the setup run: a flag-guard discharge carries no
+	// certificate, and this test verifies one.
+	rep, err := NewChecker(WithParallelism(1), WithTriage(false)).
+		Check(context.Background(), p, "", "x")
 	if err != nil || rep.Verdict != Safe {
 		t.Fatalf("setup: %v %v", err, rep.Verdict)
 	}

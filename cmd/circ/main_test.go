@@ -75,10 +75,14 @@ func TestRunAllAndVerify(t *testing.T) {
 	}
 }
 
+// TestRunDotOutput, TestRunTraceOutput, and TestRunMetricsOutput
+// exercise the inference engine's observability artifacts, so they run
+// with -triage=off: the flag-guard rule discharges safeSrc statically,
+// and a discharged case has no ACFA, spans, or iteration counters.
 func TestRunDotOutput(t *testing.T) {
 	path := writeProg(t, safeSrc)
 	prefix := filepath.Join(t.TempDir(), "out")
-	if code := run([]string{"-var", "x", "-dot", prefix, path}); code != 0 {
+	if code := run([]string{"-var", "x", "-triage=off", "-dot", prefix, path}); code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
 	if _, err := os.Stat(prefix + ".cfa.dot"); err != nil {
@@ -96,13 +100,25 @@ func TestRunBaselines(t *testing.T) {
 	}
 }
 
+func TestRunBaselineFlagguard(t *testing.T) {
+	path := writeProg(t, safeSrc)
+	for _, which := range []string{"flagguard", "all"} {
+		if code := run([]string{"-all", "-baseline", which, path}); code != 0 {
+			t.Fatalf("-baseline %s: exit = %d", which, code)
+		}
+	}
+	if code := run([]string{"-var", "x", "-baseline", "nonesuch", path}); code != 3 {
+		t.Fatalf("bad -baseline accepted")
+	}
+}
+
 // TestRunTraceOutput checks that -trace writes valid Chrome trace_event
 // JSON whose spans cover the analysis: complete events ("ph":"X") with
 // timestamps and durations, including the top-level circ.check span.
 func TestRunTraceOutput(t *testing.T) {
 	path := writeProg(t, safeSrc)
 	traceFile := filepath.Join(t.TempDir(), "trace.json")
-	if code := run([]string{"-var", "x", "-trace", traceFile, path}); code != 0 {
+	if code := run([]string{"-var", "x", "-triage=off", "-trace", traceFile, path}); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	data, err := os.ReadFile(traceFile)
@@ -161,7 +177,7 @@ func TestRunTraceOutput(t *testing.T) {
 func TestRunMetricsOutput(t *testing.T) {
 	path := writeProg(t, safeSrc)
 	metricsFile := filepath.Join(t.TempDir(), "metrics.json")
-	if code := run([]string{"-var", "x", "-metrics", metricsFile, path}); code != 0 {
+	if code := run([]string{"-var", "x", "-triage=off", "-metrics", metricsFile, path}); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	data, err := os.ReadFile(metricsFile)

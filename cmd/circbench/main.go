@@ -56,17 +56,21 @@ var (
 	smtSlowLog = flag.Duration("smt-slowlog", 100*time.Millisecond, "SMT slow-query threshold for the -bench legs (0: disable)")
 )
 
-// triageFlag/sliceFlag are the -bench escape hatches for the engine's
-// static pre-analysis: -triage=off and -slice=off run the batch phases
-// with the full CEGAR loop on every pair and unsliced CFAs.
+// triageFlag/sliceFlag/seedFlag are the -bench escape hatches for the
+// engine's static pre-analysis: -triage=off and -slice=off run the batch
+// phases with the full CEGAR loop on every pair and unsliced CFAs, and
+// -seed-preds=off withholds the flag-guard analysis' exported initial
+// predicates so inference starts from the empty abstraction.
 var (
 	triageFlag onoff = true
 	sliceFlag  onoff = true
+	seedFlag   onoff = true
 )
 
 func init() {
 	flag.Var(&triageFlag, "triage", "static triage stage that discharges pairs before CIRC runs: on or off")
 	flag.Var(&sliceFlag, "slice", "per-target cone-of-influence slicing of the thread CFA: on or off")
+	flag.Var(&seedFlag, "seed-preds", "seed inference with guard predicates from the flag-guard analysis: on or off")
 }
 
 // onoff is a boolean flag.Value that also accepts the spellings "on" and
@@ -470,10 +474,21 @@ type benchRow struct {
 	AllocsPerQuery float64 `json:"allocs_per_query"`
 	BytesPerQuery  float64 `json:"bytes_per_query"`
 	// Static pre-analysis effect on the parallel run: targets discharged
-	// without touching the solver, and CFA edges removed by slicing
-	// (summed over all targets of the case).
-	TriageDischarged   int64 `json:"triage_discharged"`
-	SlicedEdgesRemoved int64 `json:"sliced_edges_removed"`
+	// without touching the solver (total and split by triage rule), CFA
+	// edges removed by slicing (summed over all targets of the case), and
+	// initial predicates the flag-guard analysis exported for the targets
+	// it could not discharge.
+	TriageDischarged   int64            `json:"triage_discharged"`
+	DischargedByReason map[string]int64 `json:"discharged_by_reason,omitempty"`
+	SlicedEdgesRemoved int64            `json:"sliced_edges_removed"`
+	SeededPredicates   int64            `json:"seeded_predicates"`
+	// Seeding effect on inference depth: total CEGAR iterations of the
+	// parallel run, the same run re-measured with -seed-preds=off, and
+	// their difference (positive: seeding saved iterations). All zero
+	// when -seed-preds=off disables the comparison leg.
+	ParIterations    int64 `json:"par_iterations"`
+	NoSeedIterations int64 `json:"noseed_iterations"`
+	SeedIterDelta    int64 `json:"seed_iter_delta"`
 	// Scheduler behaviour of the parallel run: slots stolen from another
 	// worker's deque, cumulative worker idle wall time, and learned SMT
 	// clauses replayed across sessions by the portfolio.
@@ -505,6 +520,9 @@ type benchReport struct {
 	// ReuseHitRate aggregates the warm legs: certificates reused over
 	// all warm targets.
 	ReuseHitRate float64 `json:"reuse_hit_rate"`
+	// SeedCasesImproved counts the cases whose no-seed comparison leg
+	// needed strictly more CEGAR iterations than the seeded parallel run.
+	SeedCasesImproved int `json:"seed_cases_improved"`
 	// PhaseLatency summarises the engine's duration histograms (merged
 	// over every parallel run) as millisecond quantiles, keyed by
 	// histogram name ("smt.solve", "bisim.collapse", ...).
@@ -592,13 +610,13 @@ func benchCases() []benchCase {
 // (fresh SMT cache, so sequential and parallel runs measure the same
 // work). The returned timeline carries the run's per-worker
 // busy/idle/steal segments.
-func runOnce(src string, par int) (*circ.BatchReport, *telemetry.Timeline, error) {
+func runOnce(src string, par int, seed bool) (*circ.BatchReport, *telemetry.Timeline, error) {
 	tl := telemetry.NewTimeline(telemetry.DefaultTimelineCap)
 	ctx := telemetry.WithTimeline(context.Background(), tl)
 	rep, err := circ.CheckAllRaces(ctx, src,
 		circ.WithParallelism(par), circ.WithScheduler(sched), circ.WithTracer(tracer),
 		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)),
-		circ.WithSMTSlowLog(*smtSlowLog))
+		circ.WithSeedPredicates(seed), circ.WithSMTSlowLog(*smtSlowLog))
 	return rep, tl, err
 }
 
@@ -610,7 +628,8 @@ func runWarm(src string, par int) (warm *circ.BatchReport, reused int, err error
 	chk := circ.NewChecker(
 		circ.WithCertStore(circ.NewCertStore()),
 		circ.WithParallelism(par), circ.WithScheduler(sched), circ.WithTracer(tracer),
-		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)))
+		circ.WithTriage(bool(triageFlag)), circ.WithSlicing(bool(sliceFlag)),
+		circ.WithSeedPredicates(bool(seedFlag)))
 	prog, err := circ.Parse(src)
 	if err != nil {
 		return nil, 0, err
@@ -630,6 +649,23 @@ func runWarm(src string, par int) (warm *circ.BatchReport, reused int, err error
 	return warm, reused, nil
 }
 
+// dischargeReasons extracts the per-rule discharge counts from a run's
+// labelled triage.discharged{reason="..."} counter family.
+func dischargeReasons(m telemetry.Metrics) map[string]int64 {
+	const prefix = `triage.discharged{reason="`
+	var out map[string]int64
+	for name, n := range m.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)] += n
+	}
+	return out
+}
+
 func runBench() {
 	par := parallelism()
 	// The parallel legs need real OS-level parallelism to mean anything;
@@ -639,22 +675,22 @@ func runBench() {
 		runtime.GOMAXPROCS(par)
 	}
 	fmt.Printf("== Parallel engine benchmark: sequential vs %d workers (%s scheduler) ==\n", par, sched)
-	fmt.Printf("%-28s %7s %6s %9s %9s %9s %8s %7s %9s %11s %7s %8s %7s\n",
-		"benchmark", "targets", "disch", "seq", "par", "warm", "speedup", "reuse", "hit-rate", "allocs/q", "steals", "idle", "shared")
+	fmt.Printf("%-28s %7s %6s %5s %5s %9s %9s %9s %8s %7s %9s %11s %7s %8s %7s\n",
+		"benchmark", "targets", "disch", "seeds", "dIter", "seq", "par", "warm", "speedup", "reuse", "hit-rate", "allocs/q", "steals", "idle", "shared")
 	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par, Sched: sched.String()}
 	// Each runOnce uses a fresh checker (and so a fresh registry); merge
 	// the per-run snapshots into a bench-level child of the process
 	// registry so BENCH_parallel.json carries the aggregate.
 	breg := telemetry.ChildOf(reg)
 	for _, bc := range benchCases() {
-		seq, _, err := runOnce(bc.Source, 1)
+		seq, _, err := runOnce(bc.Source, 1, bool(seedFlag))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(sequential):", err)
 			os.Exit(1)
 		}
 		var msBefore, msAfter runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
-		parRep, parTL, err := runOnce(bc.Source, par)
+		parRep, parTL, err := runOnce(bc.Source, par, bool(seedFlag))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(parallel):", err)
 			os.Exit(1)
@@ -664,6 +700,18 @@ func runBench() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(warm):", err)
 			os.Exit(1)
+		}
+		// Seeding-effect leg: re-run the parallel batch with predicate
+		// seeding withheld, so seed_iter_delta records how many CEGAR
+		// iterations the exported guard predicates saved on this case.
+		var noSeedIters int64
+		if bool(seedFlag) {
+			noSeed, _, err := runOnce(bc.Source, par, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "circbench: bench", bc.Name, "(no-seed):", err)
+				os.Exit(1)
+			}
+			noSeedIters = noSeed.Metrics.Counter("circ.iterations")
 		}
 		row := benchRow{
 			Name:          bc.Name,
@@ -681,7 +729,11 @@ func runBench() {
 			HitRate:       parRep.SMT.HitRate(),
 
 			TriageDischarged:   parRep.Metrics.Counter("triage.discharged"),
+			DischargedByReason: dischargeReasons(parRep.Metrics),
 			SlicedEdgesRemoved: parRep.Metrics.Counter("slice.edges_removed"),
+			SeededPredicates:   parRep.Metrics.Counter("seed.predicates"),
+			ParIterations:      parRep.Metrics.Counter("circ.iterations"),
+			NoSeedIterations:   noSeedIters,
 			Steals:             parRep.Metrics.Counter("reach.steal.count"),
 			IdleMillis:         float64(parRep.Metrics.Histograms["reach.worker.idle"].SumNanos) / 1e6,
 			ClausesShared:      parRep.Metrics.Counter("smt.portfolio.clauses_shared"),
@@ -713,6 +765,12 @@ func runBench() {
 		if row.Targets > 0 {
 			row.ReuseHitRate = float64(row.CertsReused) / float64(row.Targets)
 		}
+		if bool(seedFlag) {
+			row.SeedIterDelta = row.NoSeedIterations - row.ParIterations
+			if row.SeedIterDelta > 0 {
+				report.SeedCasesImproved++
+			}
+		}
 		breg.Merge(parRep.Metrics)
 		report.Rows = append(report.Rows, row)
 		report.TotalSeqMs += row.SeqMillis
@@ -721,8 +779,9 @@ func runBench() {
 		if !row.VerdictsAgree {
 			agree = "  VERDICT MISMATCH"
 		}
-		fmt.Printf("%-28s %7d %6d %8.0fms %8.0fms %8.0fms %7.2fx %6.0f%% %8.1f%% %11.0f %7d %6.0fms %7d%s\n",
-			bc.Name, row.Targets, row.TriageDischarged, row.SeqMillis, row.ParMillis, row.WarmMillis,
+		fmt.Printf("%-28s %7d %6d %5d %+5d %8.0fms %8.0fms %8.0fms %7.2fx %6.0f%% %8.1f%% %11.0f %7d %6.0fms %7d%s\n",
+			bc.Name, row.Targets, row.TriageDischarged, row.SeededPredicates, row.SeedIterDelta,
+			row.SeqMillis, row.ParMillis, row.WarmMillis,
 			row.Speedup, 100*row.ReuseHitRate, 100*row.HitRate, row.AllocsPerQuery,
 			row.Steals, row.IdleMillis, row.ClausesShared, agree)
 	}
@@ -752,9 +811,9 @@ func runBench() {
 	}
 	report.Metrics = breg.Snapshot()
 	report.PhaseLatency = phaseLatencies(report.Metrics)
-	fmt.Printf("%-28s %7s %6s %8.0fms %8.0fms %9s %7.2fx %6.0f%%  (geomean %.2fx)\n",
-		"TOTAL", "", "", report.TotalSeqMs, report.TotalParMs, "", report.Speedup,
-		100*report.ReuseHitRate, report.GeomeanSpeedup)
+	fmt.Printf("%-28s %7s %6s %5s %5s %8.0fms %8.0fms %9s %7.2fx %6.0f%%  (geomean %.2fx, seeding improved %d cases)\n",
+		"TOTAL", "", "", "", "", report.TotalSeqMs, report.TotalParMs, "", report.Speedup,
+		100*report.ReuseHitRate, report.GeomeanSpeedup, report.SeedCasesImproved)
 	// A bench file without the effective GOMAXPROCS is uninterpretable —
 	// the parallel columns can't be compared across machines. Refuse to
 	// write one (this can only happen if the raise above is bypassed).

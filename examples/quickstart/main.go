@@ -45,14 +45,25 @@ func main() {
 	chk := circ.NewChecker()
 
 	// Prove the absence of races on x for arbitrarily many Worker threads.
+	// The default pipeline discharges the test-and-set idiom statically:
+	// the flag-guard analysis proves every unprotected access owned.
 	rep, err := chk.CheckSource(ctx, safeSrc, "", "x")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("test-and-set: %s\n", rep.Verdict)
-	fmt.Printf("  discovered predicates: %v\n", rep.Preds)
+	fmt.Printf("test-and-set: %s\n", rep.Summary())
+
+	// Run the inference engine itself (triage off) to see the paper's
+	// CIRC loop discover predicates and a context model.
+	engRep, err := circ.NewChecker(circ.WithTriage(false)).
+		CheckSource(ctx, safeSrc, "", "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  engine run: %s\n", engRep.Verdict)
+	fmt.Printf("  discovered predicates: %v\n", engRep.Preds)
 	fmt.Printf("  inferred context model: %d locations, counter k=%d\n",
-		rep.FinalACFA.NumLocs(), rep.K)
+		engRep.FinalACFA.NumLocs(), engRep.K)
 
 	// The unprotected variant yields a genuine interleaved race trace.
 	rep, err = chk.CheckSource(ctx, racySrc, "", "x")

@@ -119,6 +119,7 @@ type CFA struct {
 	Out     [][]*Edge // adjacency, indexed by source location
 
 	globalSet map[string]bool
+	reachable []bool // per location: path exists from Entry
 }
 
 // NumLocs returns the number of control locations.
@@ -132,6 +133,15 @@ func (c *CFA) IsAtomic(l Loc) bool { return c.Atomic[l] }
 
 // OutEdges returns the edges leaving l.
 func (c *CFA) OutEdges(l Loc) []*Edge { return c.Out[l] }
+
+// Reachable reports whether l has a path from the entry, memoized at
+// construction time. Analyses skip unreachable locations: operations
+// there can never execute.
+func (c *CFA) Reachable(l Loc) bool { return c.reachable[l] }
+
+// ReachableLocs returns the per-location reachability table (indexed by
+// Loc). Callers must not mutate it.
+func (c *CFA) ReachableLocs() []bool { return c.reachable }
 
 // WritesVarAt reports whether some edge out of l writes x, i.e. the thread
 // "can write x" at l in the paper's terminology.
@@ -230,5 +240,18 @@ func (c *CFA) finish() {
 	c.globalSet = make(map[string]bool, len(c.Globals))
 	for _, g := range c.Globals {
 		c.globalSet[g] = true
+	}
+	c.reachable = make([]bool, c.NumLocs())
+	stack := []Loc{c.Entry}
+	c.reachable[c.Entry] = true
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range c.Out[l] {
+			if !c.reachable[e.Dst] {
+				c.reachable[e.Dst] = true
+				stack = append(stack, e.Dst)
+			}
+		}
 	}
 }

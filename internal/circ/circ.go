@@ -158,9 +158,13 @@ type Report struct {
 	History []IterationInfo
 	// Triage, when non-empty, records that the verdict was discharged by
 	// the static triage stage without running CIRC at all: "read-only",
-	// "atomic-covered", or "thread-local". Triage reports are always Safe
-	// and carry no context model or predicates.
+	// "atomic-covered", "thread-local", or "flag-guarded". Triage reports
+	// are always Safe and carry no context model or predicates.
 	Triage string
+	// SeededPreds counts the initial predicates the caller injected via
+	// Options.InitialPreds (e.g. exported by the static flag-guard
+	// analysis). Zero when inference started from the empty abstraction.
+	SeededPreds int
 	// Metrics snapshots this analysis's telemetry registry at the end of
 	// the run: iteration/refinement counters, reachability statistics, and
 	// the SMT cache state ("smt.cache.hits"/"smt.cache.misses" gauges),
@@ -282,7 +286,7 @@ func check(ctx context.Context, c *cfa.CFA, raceVar string, opts Options, chk sm
 
 	preds := append([]expr.Expr(nil), opts.InitialPreds...)
 	k := opts.k()
-	rep := &Report{}
+	rep := &Report{SeededPreds: len(opts.InitialPreds)}
 
 	j := journal.FromContext(ctx)
 	for _, p := range opts.InitialPreds {

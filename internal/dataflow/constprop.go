@@ -18,12 +18,16 @@ const (
 	valConst
 	// valCopy means "same value as variable Src" (copy propagation).
 	valCopy
+	// valNe means "provably not equal to N" — established by passing a
+	// negated guard (assume [!(x==c)] / assume [x != c]). It sits between
+	// valConst and valNAC: Const(a) with a != c is a refinement of Ne(c).
+	valNe
 )
 
 // Value is one variable's abstract value.
 type Value struct {
 	Kind valKind
-	N    int64  // valConst
+	N    int64  // valConst, valNe
 	Src  string // valCopy
 }
 
@@ -90,15 +94,29 @@ func (p *constProblem) Join(dst, src ConstFact) (ConstFact, bool) {
 	}
 	changed := false
 	for i := range dst.Vals {
-		if dst.Vals[i].eq(src.Vals[i]) {
-			continue
-		}
-		if dst.Vals[i].Kind != valNAC {
-			dst.Vals[i] = Value{Kind: valNAC}
+		j := joinVal(dst.Vals[i], src.Vals[i])
+		if !j.eq(dst.Vals[i]) {
+			dst.Vals[i] = j
 			changed = true
 		}
 	}
 	return dst, changed
+}
+
+// joinVal is the least upper bound in the flat lattice extended with Ne:
+// Const(a) ⊑ Ne(c) whenever a != c, so joining the two keeps the
+// disequality instead of dropping straight to NAC.
+func joinVal(a, b Value) Value {
+	if a.eq(b) {
+		return a
+	}
+	if a.Kind == valConst && b.Kind == valNe && a.N != b.N {
+		return b
+	}
+	if b.Kind == valConst && a.Kind == valNe && b.N != a.N {
+		return a
+	}
+	return Value{Kind: valNAC}
 }
 
 func (p *constProblem) Transfer(e *cfa.Edge, in ConstFact) ConstFact {
@@ -177,6 +195,29 @@ func (p *constProblem) eval(e expr.Expr, vals []Value) Value {
 	return Value{Kind: valNAC}
 }
 
+// evalStore abstracts an assignment's right-hand side for the
+// interference-aware flag-guard analysis. Unlike eval, a bare variable
+// always becomes a copy, even when its current value is a known
+// constant: storing the resolved constant would make the transfer
+// non-monotone — the same edge would emit incomparable Const/Copy
+// outputs as its input fact weakens across fixpoint iterations, and the
+// destination would join them to NAC, severing the copy link that
+// witness resolution and pin propagation depend on. Queries recover the
+// constant by resolving the copy link instead.
+func (p *constProblem) evalStore(e expr.Expr, vals []Value) Value {
+	if v, ok := e.(expr.Var); ok {
+		i, ok := p.vars.idx[v.Name]
+		if !ok {
+			return Value{Kind: valNAC}
+		}
+		if w := vals[i]; w.Kind == valCopy {
+			return w // collapse chains: a copy of a copy copies the root
+		}
+		return Value{Kind: valCopy, Src: v.Name}
+	}
+	return p.eval(e, vals)
+}
+
 type predVal int
 
 const (
@@ -194,9 +235,20 @@ func (p *constProblem) evalPred(e expr.Expr, vals []Value) predVal {
 		}
 		return predFalse
 	case expr.Cmp:
-		a, aok := p.eval(e.X, vals).IsConst()
-		b, bok := p.eval(e.Y, vals).IsConst()
+		x, y := p.abs(e.X, vals), p.abs(e.Y, vals)
+		a, aok := x.IsConst()
+		b, bok := y.IsConst()
 		if !aok || !bok {
+			// A known constant against a "!= c" fact still decides pure
+			// (dis)equality when the constant is exactly c.
+			if ne, c, ok := neAgainstConst(x, y); ok && ne.N == c {
+				switch e.Op {
+				case expr.OpEq:
+					return predFalse
+				case expr.OpNe:
+					return predTrue
+				}
+			}
 			return predUnknown
 		}
 		var holds bool
@@ -253,24 +305,66 @@ func (p *constProblem) evalPred(e expr.Expr, vals []Value) predVal {
 	return predUnknown
 }
 
-// refine sharpens the fact through an assume edge: passing [x == c]
-// pins x to c on the far side.
+// abs resolves an expression to its abstract value, additionally looking
+// through one copy link so Const/Ne facts on a copied-from variable apply
+// to the copy.
+func (p *constProblem) abs(e expr.Expr, vals []Value) Value {
+	v := p.eval(e, vals)
+	if v.Kind == valCopy {
+		if i, ok := p.vars.idx[v.Src]; ok {
+			switch w := vals[i]; w.Kind {
+			case valConst, valNe:
+				return w
+			}
+		}
+	}
+	return v
+}
+
+// neAgainstConst extracts (Ne value, constant) when exactly that pairing
+// is present, in either order.
+func neAgainstConst(x, y Value) (Value, int64, bool) {
+	if x.Kind == valNe && y.Kind == valConst {
+		return x, y.N, true
+	}
+	if y.Kind == valNe && x.Kind == valConst {
+		return y, x.N, true
+	}
+	return Value{}, 0, false
+}
+
+// refine sharpens the fact through an assume edge: passing [x == c] pins
+// x to c on the far side, passing a negated guard [x != c] (or
+// [!(x == c)]) pins x to "not c".
 func (p *constProblem) refine(pred expr.Expr, vals []Value) {
 	switch e := pred.(type) {
 	case expr.Cmp:
-		if e.Op != expr.OpEq {
-			return
-		}
-		if v, ok := e.X.(expr.Var); ok {
-			if c, ok := p.eval(e.Y, vals).IsConst(); ok {
-				p.pin(vals, v.Name, c)
+		switch e.Op {
+		case expr.OpEq:
+			if v, ok := e.X.(expr.Var); ok {
+				if c, ok := p.eval(e.Y, vals).IsConst(); ok {
+					p.pin(vals, v.Name, Value{Kind: valConst, N: c})
+				}
+			}
+			if v, ok := e.Y.(expr.Var); ok {
+				if c, ok := p.eval(e.X, vals).IsConst(); ok {
+					p.pin(vals, v.Name, Value{Kind: valConst, N: c})
+				}
+			}
+		case expr.OpNe:
+			if v, ok := e.X.(expr.Var); ok {
+				if c, ok := p.eval(e.Y, vals).IsConst(); ok {
+					p.pin(vals, v.Name, Value{Kind: valNe, N: c})
+				}
+			}
+			if v, ok := e.Y.(expr.Var); ok {
+				if c, ok := p.eval(e.X, vals).IsConst(); ok {
+					p.pin(vals, v.Name, Value{Kind: valNe, N: c})
+				}
 			}
 		}
-		if v, ok := e.Y.(expr.Var); ok {
-			if c, ok := p.eval(e.X, vals).IsConst(); ok {
-				p.pin(vals, v.Name, c)
-			}
-		}
+	case expr.Not:
+		p.refine(expr.Negate(e.X), vals)
 	case expr.And:
 		for _, c := range e.Xs {
 			p.refine(c, vals)
@@ -278,9 +372,30 @@ func (p *constProblem) refine(pred expr.Expr, vals []Value) {
 	}
 }
 
-func (p *constProblem) pin(vals []Value, x string, c int64) {
-	if i, ok := p.vars.idx[x]; ok {
-		vals[i] = Value{Kind: valConst, N: c}
+// pin records a Const/Ne fact for x and propagates it across the copy
+// relation: "old == x" together with "x == c" gives "old == c", so the
+// fact applies to x, to x's copy source, and to every live copy of
+// either. Copies are established by plain assignment and invalidated on
+// writes, so every propagation target provably equals x here.
+func (p *constProblem) pin(vals []Value, x string, v Value) {
+	i, ok := p.vars.idx[x]
+	if !ok {
+		return
+	}
+	src := ""
+	if vals[i].Kind == valCopy {
+		src = vals[i].Src
+	}
+	for j := range vals {
+		if vals[j].Kind == valCopy && (vals[j].Src == x || (src != "" && vals[j].Src == src)) {
+			vals[j] = v
+		}
+	}
+	vals[i] = v
+	if src != "" {
+		if k, ok := p.vars.idx[src]; ok {
+			vals[k] = v
+		}
 	}
 }
 

@@ -44,7 +44,7 @@ func (s SliceStats) Changed() bool {
 // (see relevantVars), genuine races are not masked either.
 func Slice(c *cfa.CFA, g string) (*cfa.CFA, SliceStats) {
 	stats := SliceStats{LocsBefore: c.NumLocs(), EdgesBefore: len(c.Edges)}
-	reach := reachableLocs(c)
+	reach := c.ReachableLocs()
 	rel := relevantVars(c, g, reach)
 	stats.RelevantVars = len(rel)
 

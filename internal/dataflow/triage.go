@@ -22,6 +22,12 @@ const (
 	// therefore occupies an atomic location, and the race definition
 	// excludes states with any occupied atomic location.
 	ReasonAtomicCovered = "atomic-covered"
+	// ReasonFlagGuarded: every uncovered access to the global sits in a
+	// region the flag-guard must-analysis proves is held under a
+	// single-owner busy flag (acquired by an atomic test-and-set,
+	// released only by its owner), so two template copies cannot
+	// co-occupy the accessing locations. See flagguard.go.
+	ReasonFlagGuarded = "flag-guarded"
 )
 
 // Discharge is a statically proved race-freedom verdict for one
@@ -54,7 +60,7 @@ func CounterKey(reason string) string {
 // is a race state on g. Unreachable code (locations with no path from
 // the entry) is ignored — accesses there cannot occur.
 func Triage(c *cfa.CFA, g string) (Discharge, bool) {
-	reach := reachableLocs(c)
+	reach := c.ReachableLocs()
 	var reads, writes, uncovered int
 	for _, e := range c.Edges {
 		if !reach[e.Src] {
@@ -92,23 +98,8 @@ func Triage(c *cfa.CFA, g string) (Discharge, bool) {
 			Detail: fmt.Sprintf("all %d access(es) to %s leave atomic locations", reads+writes, g),
 		}, true
 	}
-	return Discharge{}, false
-}
-
-// reachableLocs marks the locations reachable from the entry.
-func reachableLocs(c *cfa.CFA) []bool {
-	seen := make([]bool, c.NumLocs())
-	stack := []cfa.Loc{c.Entry}
-	seen[c.Entry] = true
-	for len(stack) > 0 {
-		l := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, e := range c.OutEdges(l) {
-			if !seen[e.Dst] {
-				seen[e.Dst] = true
-				stack = append(stack, e.Dst)
-			}
-		}
-	}
-	return seen
+	// The syntactic rules failed: some uncovered write exists. Run the
+	// flag-guard must-analysis before conceding the pair to the
+	// inference engine.
+	return FlagGuard(c).Discharge(g)
 }

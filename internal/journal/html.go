@@ -120,8 +120,16 @@ func renderTimeline(e Event) (timelineRow, bool) {
 		row.Detail = fmt.Sprintf("%s predicate %s (round %d)", e.Outcome, e.Pred, e.Round)
 	case EvACFACollapsed:
 		row.Detail = fmt.Sprintf("bisimulation quotient: %d → %d locations", e.LocsBefore, e.LocsAfter)
+	case EvPredicateSeeded:
+		row.Detail = fmt.Sprintf("seeded predicate %s", e.Pred)
+		if e.Reason != "" {
+			row.Detail += fmt.Sprintf(" (from flag %s)", e.Reason)
+		}
 	case EvTriageVerdict:
 		row.Detail = fmt.Sprintf("statically discharged: %s (%s)", e.Verdict, e.Reason)
+		if e.Detail != "" {
+			row.Detail += ": " + e.Detail
+		}
 	case EvCFASliced:
 		row.Detail = fmt.Sprintf("cone-of-influence slice: %d → %d locations, %d → %d edges",
 			e.LocsBefore, e.LocsAfter, e.EdgesBefore, e.EdgesAfter)

@@ -56,6 +56,12 @@ const (
 	// from a spurious trace (outcome "mined", with the trace and the
 	// unsat-core atoms it came from) or seeded by the caller ("seeded").
 	EvPredicateDiscovered = "predicate_discovered"
+	// EvPredicateSeeded: the static guard analysis exported one initial
+	// predicate for this case before inference started (pred; reason names
+	// the originating flag variable). Each seed also surfaces later as a
+	// predicate_discovered event with outcome "seeded" once the engine
+	// actually adopts it.
+	EvPredicateSeeded = "predicate_seeded"
 	// EvACFACollapsed: the weak-bisimulation quotient shrank the ARG
 	// projection into a new context model (locs_before/locs_after).
 	EvACFACollapsed = "acfa_collapsed"
@@ -145,6 +151,9 @@ type Event struct {
 	Verdict string `json:"verdict,omitempty"`
 	Reason  string `json:"reason,omitempty"`
 	Rounds  int    `json:"rounds,omitempty"`
+
+	// triage_verdict: one-line rendering of the discharge evidence.
+	Detail string `json:"detail,omitempty"`
 }
 
 // Recorder accumulates journal events from any number of concurrent
@@ -473,6 +482,10 @@ func validateEvent(e Event, lastSeq map[string]int64) error {
 	case EvACFACollapsed:
 		if e.LocsBefore < e.LocsAfter {
 			return fmt.Errorf("acfa_collapsed grew: %d -> %d", e.LocsBefore, e.LocsAfter)
+		}
+	case EvPredicateSeeded:
+		if e.Pred == "" {
+			return fmt.Errorf("predicate_seeded without pred")
 		}
 	case EvTriageVerdict:
 		if e.Verdict != "safe" {

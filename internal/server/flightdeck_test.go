@@ -78,7 +78,7 @@ func TestTracePropagation(t *testing.T) {
 	ack, echoed := submitTraced(t, ts, apiv1.CheckRequest{
 		Program: tasSrc,
 		Targets: []apiv1.Target{{Variable: "x"}},
-		Options: &apiv1.Options{Parallelism: 4},
+		Options: &apiv1.Options{Parallelism: 4, Triage: "off"},
 	}, parent)
 	if ack.TraceID != traceID {
 		t.Fatalf("ack trace_id = %q, want caller's %q", ack.TraceID, traceID)

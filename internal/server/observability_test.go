@@ -105,9 +105,13 @@ func normalizeExposition(b []byte) []byte {
 // re-establishes both verdicts from the certificate store.
 func runGoldenSequence(t *testing.T, ts *httptest.Server) apiv1.Job {
 	t.Helper()
-	ack := submit(t, ts, apiv1.CheckRequest{Program: tasSrc})
+	// Triage off: the golden sequence exercises the engine and the
+	// certificate store, which the flag-guard rule would short-circuit.
+	ack := submit(t, ts, apiv1.CheckRequest{Program: tasSrc,
+		Options: &apiv1.Options{Triage: "off"}})
 	await(t, ts, ack.JobURL)
-	ack = submit(t, ts, apiv1.CheckRequest{Program: tasSrc})
+	ack = submit(t, ts, apiv1.CheckRequest{Program: tasSrc,
+		Options: &apiv1.Options{Triage: "off"}})
 	return await(t, ts, ack.JobURL)
 }
 

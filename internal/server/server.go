@@ -518,6 +518,11 @@ func requestOptions(o *apiv1.Options) ([]circ.Option, time.Duration, error) {
 	} else if set {
 		opts = append(opts, circ.WithSlicing(on))
 	}
+	if on, set, err := onoff("seed_preds", o.SeedPreds); err != nil {
+		return nil, 0, err
+	} else if set {
+		opts = append(opts, circ.WithSeedPredicates(on))
+	}
 	if o.MaxRounds > 0 || o.MaxInner > 0 || o.MaxStates > 0 {
 		opts = append(opts, circ.WithBudgets(o.MaxRounds, o.MaxInner, o.MaxStates))
 	}
@@ -546,6 +551,7 @@ func resultsOf(prog *circ.Program, b *circ.BatchReport) []apiv1.TargetResult {
 		tr.Verdict = rep.Verdict.String()
 		tr.Reason = rep.Reason
 		tr.Triage = rep.Triage
+		tr.SeededPreds = rep.SeededPreds
 		tr.Summary = rep.Summary()
 		tr.K = rep.K
 		tr.Preds = len(rep.Preds)
@@ -752,6 +758,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Steals:            snap.Counters["reach.steal.count"],
 			WorkerIdleSeconds: float64(snap.Histograms["reach.worker.idle"].SumNanos) / 1e9,
 		},
+		Triage:   triageStats(snap),
 		Lifetime: s.lifetimeStats(),
 	}
 	st.Jobs.Active = st.Jobs.Submitted - st.Jobs.Done - st.Jobs.Failed - st.Jobs.Cancelled
@@ -773,6 +780,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// triageStats derives the static-analysis aggregates from a registry
+// snapshot: the discharge total, its per-rule labelled family, and the
+// seeded-predicate count.
+func triageStats(snap circ.Metrics) apiv1.TriageStats {
+	ts := apiv1.TriageStats{
+		Discharged:       snap.Counters["triage.discharged"],
+		SeededPredicates: snap.Counters["seed.predicates"],
+	}
+	const prefix = `triage.discharged{reason="`
+	for name, n := range snap.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		reason := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		if ts.ByReason == nil {
+			ts.ByReason = make(map[string]int64)
+		}
+		ts.ByReason[reason] += n
+	}
+	return ts
 }
 
 // lifetimeStats derives the service-lifetime aggregates from the

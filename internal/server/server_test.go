@@ -13,6 +13,7 @@ import (
 
 	"circ"
 	apiv1 "circ/api/v1"
+	"circ/internal/benchapps"
 )
 
 // tasSrc is the paper's test-and-set protocol plus one racy global, so a
@@ -142,8 +143,12 @@ func sseEvents(t *testing.T, ts *httptest.Server, jobURL string) []map[string]an
 // TestRoundTrip: submit -> poll -> done, with per-target verdicts, the
 // SSE journal, the HTML report, and /v1/stats all consistent.
 func TestRoundTrip(t *testing.T) {
+	// Triage off: the flag-guard rule would discharge both targets
+	// statically, and this test exercises the engine, store, and SMT
+	// surfaces end to end.
 	_, ts := newTestServer(t)
-	ack := submit(t, ts, apiv1.CheckRequest{Program: tasSrc})
+	ack := submit(t, ts, apiv1.CheckRequest{Program: tasSrc,
+		Options: &apiv1.Options{Triage: "off"}})
 	job := await(t, ts, ack.JobURL)
 	if job.State != apiv1.StateDone || job.Error != "" {
 		t.Fatalf("job = %+v", job)
@@ -263,7 +268,9 @@ func TestSubmitErrors(t *testing.T) {
 // events present.
 func TestColdWarmResubmit(t *testing.T) {
 	srv, ts := newTestServer(t)
-	req := apiv1.CheckRequest{Program: tasSrc}
+	// Triage off so the targets actually reach the certificate store.
+	req := apiv1.CheckRequest{Program: tasSrc,
+		Options: &apiv1.Options{Triage: "off"}}
 
 	coldAck := submit(t, ts, req)
 	cold := await(t, ts, coldAck.JobURL)
@@ -344,6 +351,63 @@ func TestTargetRestriction(t *testing.T) {
 	}
 	if r := job.Results[0]; r.Thread != "Worker" || r.Variable != "x" || r.Verdict != "safe" {
 		t.Fatalf("result = %+v", r)
+	}
+}
+
+// TestTriageStatsAndSeededPreds: the /v1/stats triage section counts
+// flag-guard discharges by reason, and a pair the guard analysis cannot
+// discharge ships its exported seed predicates over the wire — in the
+// target result, the stats, and the journal's predicate_seeded events.
+func TestTriageStatsAndSeededPreds(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Default pipeline: both tasSrc targets are flag-guarded.
+	job := await(t, ts, submit(t, ts, apiv1.CheckRequest{Program: tasSrc}).JobURL)
+	if job.State != apiv1.StateDone {
+		t.Fatalf("job = %+v", job)
+	}
+	for _, r := range job.Results {
+		if r.Triage != "flag-guarded" {
+			t.Fatalf("%s/%s: triage = %q, want flag-guarded", r.Thread, r.Variable, r.Triage)
+		}
+	}
+	st := getStats(t, ts)
+	if st.Triage.Discharged < 2 || st.Triage.ByReason["flag-guarded"] < 2 {
+		t.Fatalf("triage stats = %+v", st.Triage)
+	}
+
+	// A residue pair: the modelled sensePort releases its flag through
+	// the interrupt handler, beyond the single-flag protocol — so it runs
+	// inference, seeded with the handshake predicates.
+	sense := benchapps.Get("sense", "tosPort")
+	if sense == nil {
+		t.Fatal("sense/tosPort benchapp missing")
+	}
+	ack := submit(t, ts, apiv1.CheckRequest{
+		Program: sense.Source,
+		Targets: []apiv1.Target{{Variable: "tosPort"}},
+	})
+	job = await(t, ts, ack.JobURL)
+	if job.State != apiv1.StateDone || len(job.Results) != 1 {
+		t.Fatalf("job = %+v", job)
+	}
+	if r := job.Results[0]; r.Triage != "" || r.SeededPreds == 0 {
+		t.Fatalf("residue result = %+v, want seeded inference run", r)
+	}
+	if st = getStats(t, ts); st.Triage.SeededPredicates == 0 {
+		t.Fatalf("triage stats after residue run = %+v", st.Triage)
+	}
+	seeded := 0
+	for _, e := range sseEvents(t, ts, ack.JobURL) {
+		if e["type"] == "predicate_seeded" {
+			if p, _ := e["pred"].(string); p == "" {
+				t.Fatalf("predicate_seeded without pred: %+v", e)
+			}
+			seeded++
+		}
+	}
+	if seeded == 0 {
+		t.Fatal("journal carries no predicate_seeded events")
 	}
 }
 
@@ -446,11 +510,14 @@ func TestRequestOptionsValidation(t *testing.T) {
 	if _, _, err := requestOptions(&apiv1.Options{Triage: "maybe"}); err == nil {
 		t.Fatalf("bad triage spelling accepted")
 	}
+	if _, _, err := requestOptions(&apiv1.Options{SeedPreds: "sometimes"}); err == nil {
+		t.Fatalf("bad seed_preds spelling accepted")
+	}
 	if _, _, err := requestOptions(&apiv1.Options{TimeoutSeconds: -1}); err == nil {
 		t.Fatalf("negative timeout accepted")
 	}
-	opts, timeout, err := requestOptions(&apiv1.Options{K: 2, Omega: true, Slicing: "off", TimeoutSeconds: 1.5})
-	if err != nil || len(opts) != 3 || timeout != 1500*time.Millisecond {
+	opts, timeout, err := requestOptions(&apiv1.Options{K: 2, Omega: true, Slicing: "off", SeedPreds: "off", TimeoutSeconds: 1.5})
+	if err != nil || len(opts) != 4 || timeout != 1500*time.Millisecond {
 		t.Fatalf("opts=%d timeout=%v err=%v", len(opts), timeout, err)
 	}
 }
@@ -483,7 +550,9 @@ func TestIdleCompaction(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	before := getStats(t, ts).Arena.Compactions
-	req := apiv1.CheckRequest{Program: tasSrc}
+	// Triage off so certificates are actually written and reused.
+	req := apiv1.CheckRequest{Program: tasSrc,
+		Options: &apiv1.Options{Triage: "off"}}
 	cold := await(t, ts, submit(t, ts, req).JobURL)
 	if cold.State != apiv1.StateDone {
 		t.Fatalf("cold: %+v", cold)

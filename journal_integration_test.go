@@ -54,7 +54,9 @@ func TestJournalDeterministic(t *testing.T) {
 // predicate in the final report appears as a predicate_discovered event,
 // and mined predicates carry the spurious trace they came from.
 func TestJournalAccountsForPredicates(t *testing.T) {
-	rep, _, j := checkWithJournal(t, 1)
+	// Triage off so inference actually runs on the fixture (the flag-guard
+	// rule discharges it statically by default).
+	rep, _, j := checkWithJournal(t, 1, WithTriage(false))
 	if rep.Verdict != Safe || len(rep.Preds) == 0 {
 		t.Fatalf("fixture no longer mines predicates: verdict=%v preds=%d", rep.Verdict, len(rep.Preds))
 	}

@@ -142,10 +142,15 @@ func storeEntry(canon []byte, rep *Report) *store.Entry {
 // CIRC run as the fallback and store writer. It is the single analysis
 // path shared by Checker.Check and Checker.CheckAll.
 func (c *Checker) checkUnit(ctx context.Context, g *cfa.CFA, variable string, s *journal.Stream, o icirc.Options) (*Report, error) {
-	g, rep := c.prepareUnit(g, variable, s, o.Metrics)
+	g, seeds, rep := c.prepareUnit(g, variable, s, o.Metrics)
 	if rep != nil {
 		return rep, nil
 	}
+	// Seed predicates join the engine options before the store key is
+	// computed: a seeded and an unseeded run of the same unit follow
+	// different inference trajectories, so they must never share a
+	// certificate entry.
+	o.InitialPreds = append(append([]expr.Expr(nil), o.InitialPreds...), seeds...)
 	// The inference engine reads the journal stream from the context; the
 	// reuse path keeps it out of its re-validation runs (their internal
 	// events are not part of the case's canonical history) and emits its

@@ -39,13 +39,15 @@ thread T {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Triage off: a statically discharged case records no engine spans,
+		// and this test compares the engine's results under tracing.
 		par := runtime.GOMAXPROCS(0)
-		plain, err := NewChecker(WithParallelism(par)).Check(context.Background(), p, "", "x")
+		plain, err := NewChecker(WithParallelism(par), WithTriage(false)).Check(context.Background(), p, "", "x")
 		if err != nil {
 			t.Fatal(err)
 		}
 		tr := NewTracer()
-		traced, err := NewChecker(WithParallelism(par), WithTracer(tr)).Check(context.Background(), p, "", "x")
+		traced, err := NewChecker(WithParallelism(par), WithTriage(false), WithTracer(tr)).Check(context.Background(), p, "", "x")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +72,8 @@ thread T {
 // and Summary folds the iteration count and SMT hit rate out of it without
 // consulting the live checker.
 func TestReportEmbedsMetrics(t *testing.T) {
-	chk := NewChecker()
+	// Triage off so the engine actually iterates on tasSrc.
+	chk := NewChecker(WithTriage(false))
 	rep, err := chk.CheckSource(context.Background(), tasSrc, "", "x")
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +107,7 @@ func TestReportEmbedsMetrics(t *testing.T) {
 // TestBatchReportMetrics: a batch run snapshots its merged unit metrics
 // plus the batch-level utilisation counters.
 func TestBatchReportMetrics(t *testing.T) {
-	b, err := CheckAllRaces(context.Background(), tasSrc, WithParallelism(2))
+	b, err := CheckAllRaces(context.Background(), tasSrc, WithParallelism(2), WithTriage(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +129,7 @@ func TestBatchReportMetrics(t *testing.T) {
 // plain-text narration through the slog-based handler.
 func TestWithLogShim(t *testing.T) {
 	var buf bytes.Buffer
-	_, err := NewChecker(WithLog(&buf), WithParallelism(1)).
+	_, err := NewChecker(WithLog(&buf), WithParallelism(1), WithTriage(false)).
 		CheckSource(context.Background(), tasSrc, "", "x")
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"circ/internal/benchapps"
+	"circ/internal/explicit"
 	"circ/internal/journal"
 )
 
@@ -42,7 +43,10 @@ func diffRun(t *testing.T, src string, opts ...Option) (*BatchReport, map[string
 // assertDifferential checks the on-vs-off contract for one program.
 func assertDifferential(t *testing.T, name, src string) {
 	t.Helper()
-	off, offVerdicts := diffRun(t, src, WithTriage(false), WithSlicing(false))
+	// The off leg is the pure engine: no triage, no slicing, and no
+	// seeded initial predicates, so it is the reference CIRC behaviour
+	// every static-stage shortcut is judged against.
+	off, offVerdicts := diffRun(t, src, WithTriage(false), WithSlicing(false), WithSeedPredicates(false))
 	on, onVerdicts := diffRun(t, src)
 	if len(on.Results) != len(off.Results) {
 		t.Fatalf("%s: %d targets with triage on, %d with it off", name, len(on.Results), len(off.Results))
@@ -128,6 +132,60 @@ func TestDifferentialExamples(t *testing.T) {
 	if ran == 0 {
 		t.Fatal("no example programs found")
 	}
+}
+
+// TestDischargeSoundness re-verifies every pair the triage stage
+// discharges on the benchapps suite two independent ways: the exhaustive
+// explicit checker on the 2-thread instance must find no race, and the
+// full CIRC engine (triage, slicing, and seeding all off) must not prove
+// the pair Unsafe. An engine Unknown is acceptable — a discharge is then
+// the allowed Unknown→Safe upgrade — but a racy discharged pair in
+// either oracle is an unsound triage rule.
+func TestDischargeSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("discharge soundness sweep is slow; skipped with -short")
+	}
+	seen := map[string]bool{}
+	discharged := 0
+	for _, set := range [][]benchapps.App{benchapps.Table1(), benchapps.Section6Races(), benchapps.FalsePositiveSuite()} {
+		for _, app := range set {
+			if seen[app.Name] {
+				continue
+			}
+			seen[app.Name] = true
+			fg, err := Flagguard(app.Source, "")
+			if err != nil {
+				t.Fatalf("%s: %v", app.Name, err)
+			}
+			_, c, err := app.Build()
+			if err != nil {
+				t.Fatalf("%s: %v", app.Name, err)
+			}
+			for v, reason := range fg.Discharged {
+				discharged++
+				res, err := explicit.NewSymmetric(c, 2).CheckRaces(v, explicit.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", app.Name, v, err)
+				}
+				if res.Race {
+					t.Errorf("%s/%s: discharged by %q but the explicit 2-thread checker races:\n%v",
+						app.Name, v, reason, res.Trace)
+				}
+				rep, err := Check(context.Background(), app.Source, WithTarget("", v),
+					WithTriage(false), WithSlicing(false), WithSeedPredicates(false))
+				if err != nil {
+					t.Fatalf("%s/%s: %v", app.Name, v, err)
+				}
+				if rep.Verdict == Unsafe {
+					t.Errorf("%s/%s: discharged by %q but the engine proves it Unsafe", app.Name, v, reason)
+				}
+			}
+		}
+	}
+	if discharged == 0 {
+		t.Fatal("triage discharged nothing on the benchapps suite; soundness sweep is vacuous")
+	}
+	t.Logf("re-verified %d discharged pairs", discharged)
 }
 
 // TestDifferentialBenchapps runs the Table 1 models, the Section 6 race
